@@ -1,0 +1,27 @@
+//! Dev probe: phi vs sampling gap per preset.
+use shoggoth::controller::phi_score;
+use shoggoth_models::{Detector, TeacherConfig, TeacherDetector};
+use shoggoth_video::presets;
+
+fn main() {
+    for stream in [presets::detrac(1), presets::kitti(1), presets::waymo(1)] {
+        let stream = stream.with_total_frames(4000);
+        let lib = &stream.library;
+        let w = lib.world();
+        let mut teacher = TeacherDetector::pretrained_with(TeacherConfig::new(w.feature_dim(), w.num_classes(), 2), lib);
+        let frames: Vec<_> = stream.build().collect();
+        print!("{:<12}", stream.name);
+        for gap_frames in [15usize, 30, 60, 150, 300] {
+            let mut phis = Vec::new();
+            let mut prev: Option<Vec<_>> = None;
+            for f in frames.iter().step_by(gap_frames) {
+                let dets = teacher.detect(f);
+                if let Some(p) = &prev { phis.push(phi_score(p, &dets)); }
+                prev = Some(dets);
+            }
+            let mean = phis.iter().sum::<f64>() / phis.len().max(1) as f64;
+            print!("  gap{:>3}f:{:.2}", gap_frames, mean);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the ablate_controller experiment. See
+//! `shoggoth_bench::experiments::ablate_controller`.
+
+fn main() {
+    shoggoth_bench::experiments::ablate_controller::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the ablate_replay experiment. See
+//! `shoggoth_bench::experiments::ablate_replay`.
+
+fn main() {
+    shoggoth_bench::experiments::ablate_replay::run();
+}

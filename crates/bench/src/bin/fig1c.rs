@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig1c experiment. See
+//! `shoggoth_bench::experiments::fig1c`.
+
+fn main() {
+    shoggoth_bench::experiments::fig1c::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4 experiment. See
+//! `shoggoth_bench::experiments::fig4`.
+
+fn main() {
+    shoggoth_bench::experiments::fig4::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 experiment. See
+//! `shoggoth_bench::experiments::fig5`.
+
+fn main() {
+    shoggoth_bench::experiments::fig5::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the fleet experiment. See
+//! `shoggoth_bench::experiments::fleet`.
+
+fn main() {
+    shoggoth_bench::experiments::fleet::run();
+}

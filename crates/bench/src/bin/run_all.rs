@@ -1,0 +1,29 @@
+//! Runs every experiment in sequence: Tables I-III and Figures 1(c), 4, 5.
+//!
+//! Scale with `SHOGGOTH_FRAMES` (frames per stream, default 27 000) and
+//! `SHOGGOTH_SEED` (default 1). Results also land as JSON under
+//! `target/experiments/`.
+
+use shoggoth_bench::experiments;
+
+fn main() {
+    println!("=== Shoggoth reproduction: full experiment suite ===\n");
+    experiments::fig1c::run();
+    println!("\n");
+    experiments::table1::run();
+    println!("\n");
+    experiments::table2::run();
+    println!("\n");
+    experiments::table3::run();
+    println!("\n");
+    experiments::fig4::run();
+    println!("\n");
+    experiments::fig5::run();
+    println!("\n");
+    experiments::fleet::run();
+    println!("\n");
+    experiments::ablate_controller::run();
+    println!("\n");
+    experiments::ablate_replay::run();
+    println!("\n=== done; JSON results in target/experiments/ ===");
+}

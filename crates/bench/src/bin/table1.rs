@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 experiment. See
+//! `shoggoth_bench::experiments::table1`.
+
+fn main() {
+    shoggoth_bench::experiments::table1::run();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 experiment. See
+//! `shoggoth_bench::experiments::table2`.
+
+fn main() {
+    shoggoth_bench::experiments::table2::run();
+}

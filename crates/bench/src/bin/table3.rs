@@ -1,0 +1,6 @@
+//! Regenerates the paper's table3 experiment. See
+//! `shoggoth_bench::experiments::table3`.
+
+fn main() {
+    shoggoth_bench::experiments::table3::run();
+}

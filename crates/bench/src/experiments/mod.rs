@@ -1,0 +1,11 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablate_controller;
+pub mod ablate_replay;
+pub mod fig1c;
+pub mod fleet;
+pub mod fig4;
+pub mod fig5;
+pub mod table1;
+pub mod table2;
+pub mod table3;

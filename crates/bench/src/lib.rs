@@ -1,0 +1,135 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Each binary (`table1`, `table2`, `table3`, `fig4`, `fig5`, `fig1c`)
+//! regenerates one table or figure of the paper: it runs the simulation at
+//! the configured scale, prints the paper's rows side by side with the
+//! measured ones, and writes a machine-readable JSON copy under
+//! `target/experiments/`.
+//!
+//! Scale is controlled by the `SHOGGOTH_FRAMES` environment variable
+//! (frames per stream; default 27 000 = 15 minutes of 30 fps video) and
+//! `SHOGGOTH_SEED` (default 1).
+
+pub mod experiments;
+
+use shoggoth::sim::{SimConfig, SimReport, Simulation};
+use shoggoth::strategy::Strategy;
+use shoggoth_models::{StudentDetector, TeacherDetector};
+use shoggoth_video::StreamConfig;
+use std::path::PathBuf;
+
+/// Frames per stream for experiment runs (`SHOGGOTH_FRAMES`, default
+/// 27 000 ≈ 15 minutes at 30 fps).
+pub fn experiment_frames() -> u64 {
+    std::env::var("SHOGGOTH_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(27_000)
+}
+
+/// Experiment seed (`SHOGGOTH_SEED`, default 1).
+pub fn experiment_seed() -> u64 {
+    std::env::var("SHOGGOTH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Directory where result JSON files land.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("can create target/experiments");
+    dir
+}
+
+/// Writes a serializable result next to the printed table.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
+    let path = out_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("results serialize");
+    std::fs::write(&path, json).expect("can write result file");
+    println!("\n[results written to {}]", path.display());
+}
+
+/// Pre-trained models shared across the strategy runs of one stream, so
+/// every strategy starts from the identical student.
+pub struct SharedModels {
+    /// The pre-trained edge student.
+    pub student: StudentDetector,
+    /// The pre-trained cloud teacher.
+    pub teacher: TeacherDetector,
+}
+
+impl SharedModels {
+    /// Builds the models once for a stream at full (non-quick) scale.
+    pub fn build(stream: &StreamConfig, seed: u64) -> Self {
+        let mut config = SimConfig::new(stream.clone());
+        config.student_seed = seed;
+        config.teacher_seed = seed.wrapping_add(1);
+        let (student, teacher) = Simulation::build_models(&config);
+        Self { student, teacher }
+    }
+}
+
+/// Runs one strategy over a stream with shared models.
+pub fn run_strategy(stream: &StreamConfig, strategy: Strategy, models: &SharedModels, seed: u64) -> SimReport {
+    let mut config = SimConfig::new(stream.clone());
+    config.strategy = strategy;
+    config.student_seed = seed;
+    config.teacher_seed = seed.wrapping_add(1);
+    config.sim_seed = seed.wrapping_add(2);
+    Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone())
+}
+
+/// Prints a horizontal rule sized to a table width.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_without_env() {
+        // The env vars are unset in CI; defaults apply.
+        if std::env::var("SHOGGOTH_FRAMES").is_err() {
+            assert_eq!(experiment_frames(), 27_000);
+        }
+        if std::env::var("SHOGGOTH_SEED").is_err() {
+            assert_eq!(experiment_seed(), 1);
+        }
+    }
+
+    #[test]
+    fn out_dir_is_creatable() {
+        let dir = out_dir();
+        assert!(dir.exists());
+    }
+
+    #[test]
+    fn table2_wallclock_variants_keep_paper_ordering() {
+        let secs = |v: &str| {
+            crate::experiments::table2::wallclock_of(v).expect("known variant")
+        };
+        let ours = secs("Ours (Baseline)");
+        let frozen = secs("Completely Freezing");
+        let conv = secs("Conv5_4");
+        let none = secs("No Replay Memory");
+        let input = secs("Input");
+        assert!((ours - frozen).abs() < 1e-9);
+        assert!(ours < conv && conv < none && none < input);
+    }
+
+    #[test]
+    fn shared_models_are_deterministic() {
+        let stream = shoggoth_video::presets::kitti(2).with_total_frames(60);
+        // Quick configs would be nicer but SharedModels is the full-scale
+        // path; keep the stream tiny so this stays fast.
+        let a = SharedModels::build(&stream, 5);
+        let b = SharedModels::build(&stream, 5);
+        assert_eq!(
+            a.student.net().export_weights(),
+            b.student.net().export_weights()
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The cloud server: online labeling and the sampling-rate controller.
+
+use crate::controller::{phi_score, ControllerConfig, SamplingRateController};
+use shoggoth_models::{pseudo_label, Detection, Detector, LabeledSample, TeacherDetector};
+use shoggoth_video::Frame;
+
+/// Cloud-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloudConfig {
+    /// Confidence threshold θ of the pseudo-labeling rule (Eq. 1).
+    pub label_threshold: f32,
+    /// Sampling-rate controller parameters (Eqs. 2–3).
+    pub controller: ControllerConfig,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        Self {
+            label_threshold: 0.5,
+            controller: ControllerConfig::paper_defaults(),
+        }
+    }
+}
+
+/// The result of labeling one uploaded batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelBatch {
+    /// Per-frame labeled samples, in upload order.
+    pub per_frame: Vec<Vec<LabeledSample>>,
+    /// Total labeled samples across the batch.
+    pub total_samples: usize,
+    /// φ scores observed between consecutive sampled frames.
+    pub phi_scores: Vec<f64>,
+}
+
+/// The cloud server shared by all edge devices: hosts the golden teacher,
+/// labels sampled frames online (Eq. 1), tracks the scene-change score φ,
+/// and runs the sampling-rate controller.
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth::cloud::{CloudConfig, CloudServer};
+/// use shoggoth_models::{TeacherConfig, TeacherDetector};
+/// use shoggoth_video::presets;
+///
+/// let stream = presets::kitti(2).with_total_frames(40);
+/// let teacher = TeacherDetector::pretrained_with(
+///     TeacherConfig::new(32, 1, 3).quick(), &stream.library);
+/// let mut cloud = CloudServer::new(teacher, 1, CloudConfig::default());
+/// let frames: Vec<_> = stream.build().take(3).collect();
+/// let refs: Vec<&_> = frames.iter().collect();
+/// let batch = cloud.label_batch(&refs);
+/// assert_eq!(batch.per_frame.len(), 3);
+/// assert_eq!(batch.phi_scores.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CloudServer {
+    teacher: TeacherDetector,
+    controller: SamplingRateController,
+    config: CloudConfig,
+    num_classes: usize,
+    prev_labels: Option<Vec<Detection>>,
+}
+
+impl CloudServer {
+    /// Creates a cloud server around a pre-trained teacher.
+    pub fn new(teacher: TeacherDetector, num_classes: usize, config: CloudConfig) -> Self {
+        Self {
+            teacher,
+            controller: SamplingRateController::new(config.controller),
+            config,
+            num_classes,
+            prev_labels: None,
+        }
+    }
+
+    /// The current sampling rate the controller prescribes.
+    pub fn rate(&self) -> f64 {
+        self.controller.rate()
+    }
+
+    /// Read access to the controller (diagnostics).
+    pub fn controller(&self) -> &SamplingRateController {
+        &self.controller
+    }
+
+    /// Labels an uploaded batch of sampled frames with the teacher and
+    /// records per-frame φ scores against the previously-labeled frame.
+    pub fn label_batch(&mut self, frames: &[&Frame]) -> LabelBatch {
+        let mut per_frame = Vec::with_capacity(frames.len());
+        let mut phi_scores = Vec::with_capacity(frames.len());
+        let mut total = 0;
+        for frame in frames {
+            let detections = self.teacher.detect(frame);
+            if let Some(prev) = &self.prev_labels {
+                let phi = phi_score(prev, &detections);
+                self.controller.observe_phi(phi);
+                phi_scores.push(phi);
+            } else {
+                phi_scores.push(0.0);
+            }
+            self.prev_labels = Some(detections);
+            let samples = pseudo_label(
+                &mut self.teacher,
+                frame,
+                self.num_classes,
+                self.config.label_threshold,
+            );
+            total += samples.len();
+            per_frame.push(samples);
+        }
+        LabelBatch {
+            per_frame,
+            total_samples: total,
+            phi_scores,
+        }
+    }
+
+    /// Runs the golden model directly on a frame (the Cloud-Only path).
+    pub fn infer(&mut self, frame: &Frame) -> Vec<Detection> {
+        self.teacher.detect(frame)
+    }
+
+    /// Updates the sampling rate from the edge's reported estimated
+    /// accuracy α and resource usage λ (Eqs. 2–3).
+    pub fn update_rate(&mut self, alpha: f64, lambda: f64) -> f64 {
+        self.controller.update(alpha, lambda)
+    }
+
+    /// Mutable access to the hosted teacher (AMS's cloud-side training).
+    pub fn teacher_mut(&mut self) -> &mut TeacherDetector {
+        &mut self.teacher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoggoth_models::TeacherConfig;
+    use shoggoth_video::presets;
+
+    fn setup() -> (CloudServer, Vec<Frame>) {
+        let stream = presets::kitti(12).with_total_frames(60);
+        let teacher = TeacherDetector::pretrained_with(
+            TeacherConfig::new(32, 1, 9).quick(),
+            &stream.library,
+        );
+        let cloud = CloudServer::new(teacher, 1, CloudConfig::default());
+        let frames: Vec<Frame> = stream.build().collect();
+        (cloud, frames)
+    }
+
+    #[test]
+    fn labeling_covers_every_proposal() {
+        let (mut cloud, frames) = setup();
+        let refs: Vec<&Frame> = frames.iter().take(4).collect();
+        let batch = cloud.label_batch(&refs);
+        for (labels, frame) in batch.per_frame.iter().zip(&refs) {
+            assert_eq!(labels.len(), frame.proposals.len());
+        }
+        assert_eq!(
+            batch.total_samples,
+            refs.iter().map(|f| f.proposals.len()).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn first_frame_has_zero_phi() {
+        let (mut cloud, frames) = setup();
+        let refs: Vec<&Frame> = frames.iter().take(2).collect();
+        let batch = cloud.label_batch(&refs);
+        assert_eq!(batch.phi_scores[0], 0.0);
+    }
+
+    #[test]
+    fn consecutive_frames_have_low_phi() {
+        // Adjacent frames share tracks, so teacher labels barely change.
+        let (mut cloud, frames) = setup();
+        let refs: Vec<&Frame> = frames.iter().take(10).collect();
+        let batch = cloud.label_batch(&refs);
+        let mean_phi: f64 =
+            batch.phi_scores[1..].iter().sum::<f64>() / (batch.phi_scores.len() - 1) as f64;
+        assert!(mean_phi < 0.6, "adjacent-frame phi too high: {mean_phi}");
+    }
+
+    #[test]
+    fn rate_updates_respond_to_alpha() {
+        let (mut cloud, frames) = setup();
+        let refs: Vec<&Frame> = frames.iter().take(5).collect();
+        cloud.label_batch(&refs);
+        let r_low_alpha = cloud.update_rate(0.1, 0.1);
+        assert!(r_low_alpha >= cloud.controller().config().r_min);
+        assert!(r_low_alpha <= cloud.controller().config().r_max);
+    }
+
+    #[test]
+    fn infer_emits_detections() {
+        let (mut cloud, frames) = setup();
+        let total: usize = frames.iter().take(10).map(|f| cloud.infer(f).len()).sum();
+        assert!(total > 0, "teacher should detect something in 10 frames");
+    }
+}

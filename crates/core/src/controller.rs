@@ -1,0 +1,319 @@
+//! The adaptive frame-sampling controller — the paper's Eqs. (2)–(3).
+//!
+//! The cloud keeps the scene-change score φ̄ near a target, pushes the
+//! sampling rate up when the edge's estimated accuracy α falls below its
+//! target, and carries the previous rate scaled by the resource-usage
+//! trend λ:
+//!
+//! ```text
+//! r_{t+1} = [ R(φ) + R(α) + R(λ) ]_{r_min}^{r_max}
+//! R(φ) = η_r · (φ̄_t − φ_target)
+//! R(α) = η_α · max(0, α_target − α_t)
+//! R(λ) = (1 + λ̄_{t+1} − λ̄_t) · r_t
+//! ```
+
+use serde::{Deserialize, Serialize};
+use shoggoth_metrics::match_detections;
+use shoggoth_models::Detection;
+use shoggoth_util::{Ewma, RingBuffer};
+use shoggoth_video::GroundTruthObject;
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Target scene-change score `φ_target`.
+    pub phi_target: f64,
+    /// Target estimated accuracy `α_target`.
+    pub alpha_target: f64,
+    /// Step size `η_r` on the φ term.
+    pub eta_r: f64,
+    /// Step size `η_α` on the α term.
+    pub eta_alpha: f64,
+    /// Minimum sampling rate in fps (the paper uses 0.1).
+    pub r_min: f64,
+    /// Maximum sampling rate in fps (the paper uses 2.0).
+    pub r_max: f64,
+    /// Initial sampling rate in fps.
+    pub initial_rate: f64,
+    /// Length of the recent-frame horizon over which φ̄ is averaged.
+    pub phi_window: usize,
+    /// Smoothing factor of the λ̄ exponentially-weighted average.
+    pub lambda_alpha: f64,
+}
+
+impl ControllerConfig {
+    /// The defaults used throughout the evaluation.
+    pub fn paper_defaults() -> Self {
+        Self {
+            phi_target: 0.35,
+            alpha_target: 0.8,
+            eta_r: 2.5,
+            eta_alpha: 3.0,
+            r_min: 0.1,
+            r_max: 2.0,
+            initial_rate: 0.5,
+            phi_window: 30,
+            lambda_alpha: 0.4,
+        }
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// The sampling-rate controller running in the cloud.
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth::controller::{ControllerConfig, SamplingRateController};
+///
+/// let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+/// // Rapid scene change and poor accuracy drive the rate upward.
+/// for _ in 0..10 {
+///     ctl.observe_phi(0.9);
+/// }
+/// let r = ctl.update(0.3, 0.2);
+/// assert!(r > ctl.config().initial_rate);
+/// assert!(r <= ctl.config().r_max);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SamplingRateController {
+    config: ControllerConfig,
+    rate: f64,
+    phi_horizon: RingBuffer<f64>,
+    lambda_ewma: Ewma,
+    lambda_bar_prev: f64,
+}
+
+impl SamplingRateController {
+    /// Creates a controller at the configured initial rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (`r_min > r_max`,
+    /// non-positive window, or an initial rate outside the bounds).
+    pub fn new(config: ControllerConfig) -> Self {
+        assert!(config.r_min <= config.r_max, "r_min must not exceed r_max");
+        assert!(config.phi_window > 0, "phi window must be positive");
+        assert!(
+            (config.r_min..=config.r_max).contains(&config.initial_rate),
+            "initial rate must lie within [r_min, r_max]"
+        );
+        Self {
+            rate: config.initial_rate,
+            phi_horizon: RingBuffer::new(config.phi_window),
+            lambda_ewma: Ewma::new(config.lambda_alpha),
+            lambda_bar_prev: 0.0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Current sampling rate `r_t` in fps.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Mean φ over the recent-frame horizon.
+    pub fn phi_bar(&self) -> f64 {
+        self.phi_horizon.mean()
+    }
+
+    /// Records a per-frame scene-change score (cloud side, computed from
+    /// consecutive teacher labels).
+    pub fn observe_phi(&mut self, phi: f64) {
+        self.phi_horizon.push(phi.clamp(0.0, 1.0));
+    }
+
+    /// Applies Eq. (2)/(3) with the edge-reported estimated accuracy `α_t`
+    /// and resource usage `λ_{t+1}`, returning the new rate `r_{t+1}`.
+    pub fn update(&mut self, alpha: f64, lambda: f64) -> f64 {
+        let r_phi = self.config.eta_r * (self.phi_bar() - self.config.phi_target);
+        let r_alpha = self.config.eta_alpha * (self.config.alpha_target - alpha).max(0.0);
+        let lambda_bar_next = self.lambda_ewma.observe(lambda.clamp(0.0, 1.0));
+        let r_lambda = (1.0 + lambda_bar_next - self.lambda_bar_prev) * self.rate;
+        self.lambda_bar_prev = lambda_bar_next;
+        self.rate = (r_phi + r_alpha + r_lambda).clamp(self.config.r_min, self.config.r_max);
+        self.rate
+    }
+}
+
+/// The per-frame scene-change score φ_k (§III-C).
+///
+/// The paper defines φ_k as the task loss of the teacher's labels on frame
+/// `I_k` scored against its labels on `I_{k−1}`, and motivates this by
+/// noting that *labels* live in a much smaller space than pixels, making
+/// them a robust change signal. We follow that argument to its clean form:
+/// φ is the total-variation distance between the two frames' class-count
+/// histograms, plus the disagreement left after geometric matching at a
+/// loose IoU. Identical label sets score 0; disjoint ones score 1; two
+/// empty frames score 0 (a perfectly stationary empty scene).
+///
+/// (A strict IoU-0.5 matching is deliberately *not* used here: at sampling
+/// gaps of a second or more, object motion alone breaks box overlap, which
+/// would saturate φ and blind the controller — the label-space histogram
+/// is the stable signal.)
+pub fn phi_score(prev: &[Detection], cur: &[Detection]) -> f64 {
+    let total = prev.len() + cur.len();
+    if total == 0 {
+        return 0.0;
+    }
+    // Class-count total-variation term: how much did the label
+    // *population* change?
+    let max_class = prev
+        .iter()
+        .chain(cur)
+        .map(|d| d.class)
+        .max()
+        .unwrap_or(0);
+    let mut count_prev = vec![0i64; max_class + 1];
+    let mut count_cur = vec![0i64; max_class + 1];
+    for d in prev {
+        count_prev[d.class] += 1;
+    }
+    for d in cur {
+        count_cur[d.class] += 1;
+    }
+    let tv: i64 = count_prev
+        .iter()
+        .zip(&count_cur)
+        .map(|(a, b)| (a - b).abs())
+        .sum();
+    let histogram_term = tv as f64 / total as f64;
+
+    // Geometric term at a loose IoU: of the objects that persist by
+    // count, how many moved out of overlap entirely?
+    let pseudo_gt: Vec<GroundTruthObject> = prev
+        .iter()
+        .enumerate()
+        .map(|(i, d)| GroundTruthObject {
+            track_id: i as u64,
+            class: d.class,
+            bbox: d.bbox,
+        })
+        .collect();
+    let result = match_detections(cur, &pseudo_gt, 0.1);
+    let geometric_term = 1.0 - 2.0 * result.true_positives as f64 / total as f64;
+
+    (0.7 * histogram_term + 0.3 * geometric_term).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoggoth_video::BBox;
+
+    fn det(class: usize, x: f32) -> Detection {
+        Detection {
+            bbox: BBox::new(x, 0.1, 0.2, 0.2),
+            class,
+            confidence: 0.9,
+        }
+    }
+
+    #[test]
+    fn identical_labels_score_zero_phi() {
+        let labels = vec![det(0, 0.1), det(1, 0.5)];
+        assert!(phi_score(&labels, &labels).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_labels_score_one_phi() {
+        let a = vec![det(0, 0.1)];
+        let b = vec![det(1, 0.7)];
+        assert!((phi_score(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_pair_scores_zero_phi() {
+        assert_eq!(phi_score(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn appearing_object_scores_partial_phi() {
+        let a = vec![det(0, 0.1)];
+        let b = vec![det(0, 0.1), det(0, 0.6)];
+        let phi = phi_score(&a, &b);
+        assert!((phi - (1.0 - 2.0 / 3.0)).abs() < 1e-9, "phi {phi}");
+    }
+
+    #[test]
+    fn rate_stays_within_bounds() {
+        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+        for _ in 0..20 {
+            ctl.observe_phi(1.0);
+        }
+        for _ in 0..10 {
+            let r = ctl.update(0.0, 1.0);
+            assert!(r <= ctl.config().r_max && r >= ctl.config().r_min);
+        }
+        assert!((ctl.rate() - 2.0).abs() < 1e-9, "should saturate at r_max");
+    }
+
+    #[test]
+    fn stationary_scene_drives_rate_down() {
+        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+        // No scene change, accurate model, low resource pressure.
+        for _ in 0..30 {
+            ctl.observe_phi(0.0);
+        }
+        for _ in 0..20 {
+            ctl.update(0.95, 0.05);
+        }
+        assert!(
+            ctl.rate() < ctl.config().initial_rate,
+            "rate should fall on stationary video: {}",
+            ctl.rate()
+        );
+    }
+
+    #[test]
+    fn poor_accuracy_raises_rate() {
+        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+        for _ in 0..30 {
+            ctl.observe_phi(0.25); // exactly on target: no φ pressure
+        }
+        let before = ctl.rate();
+        let after = ctl.update(0.2, 0.1);
+        assert!(after > before, "low α must raise the rate: {before} -> {after}");
+    }
+
+    #[test]
+    fn update_is_literal_equation() {
+        let config = ControllerConfig {
+            phi_target: 0.2,
+            alpha_target: 0.8,
+            eta_r: 1.0,
+            eta_alpha: 2.0,
+            r_min: 0.0,
+            r_max: 10.0,
+            initial_rate: 1.0,
+            phi_window: 4,
+            lambda_alpha: 1.0, // λ̄ tracks the last sample exactly
+        };
+        let mut ctl = SamplingRateController::new(config);
+        ctl.observe_phi(0.6); // φ̄ = 0.6
+        // R(φ) = 1.0·(0.6−0.2) = 0.4
+        // R(α) = 2.0·max(0, 0.8−0.5) = 0.6
+        // λ̄_{t+1} = 0.3, λ̄_t = 0 → R(λ) = (1+0.3)·1.0 = 1.3
+        let r = ctl.update(0.5, 0.3);
+        assert!((r - 2.3).abs() < 1e-9, "r {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "initial rate must lie within")]
+    fn out_of_range_initial_rate_rejected() {
+        SamplingRateController::new(ControllerConfig {
+            initial_rate: 5.0,
+            ..ControllerConfig::paper_defaults()
+        });
+    }
+}

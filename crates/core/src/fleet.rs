@@ -1,0 +1,196 @@
+//! Multi-device fleet analysis: how many edge devices one cloud GPU
+//! supports.
+//!
+//! The paper argues (§IV-B, point 4) that because AMS "requires more
+//! computing resources for training on the cloud, Shoggoth can support
+//! more edge devices when several edge devices share the same GPU
+//! server". This module quantifies that claim: it runs one simulation per
+//! device (each with its own stream seed), accounts the cloud GPU seconds
+//! each device demanded — teacher inference for labeling, plus cloud-side
+//! training for AMS — and derives the per-device GPU utilization and the
+//! supportable fleet size.
+
+use crate::sim::{SimConfig, SimReport, Simulation};
+use serde::Serialize;
+use shoggoth_compute::stack::mask_rcnn_x101;
+use shoggoth_compute::DeviceProfile;
+
+/// Configuration of a fleet analysis.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Base simulation configuration; each device gets a reseeded copy of
+    /// the same stream preset.
+    pub base: SimConfig,
+    /// Number of edge devices to simulate.
+    pub devices: usize,
+    /// The shared cloud GPU.
+    pub cloud_gpu: DeviceProfile,
+}
+
+impl FleetConfig {
+    /// Builds a fleet around a base config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn new(base: SimConfig, devices: usize) -> Self {
+        assert!(devices > 0, "fleet needs at least one device");
+        let cloud_gpu = base.cloud_device;
+        Self {
+            base,
+            devices,
+            cloud_gpu,
+        }
+    }
+}
+
+/// Aggregate result of a fleet analysis.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Strategy analyzed.
+    pub strategy: String,
+    /// Devices simulated.
+    pub devices: usize,
+    /// Per-device simulation reports.
+    pub per_device: Vec<SimReport>,
+    /// Mean mAP@0.5 across devices.
+    pub mean_map50: f64,
+    /// Total cloud GPU seconds consumed by the whole fleet (teacher
+    /// inference + any cloud-side training).
+    pub cloud_gpu_secs: f64,
+    /// Stream duration in seconds (wall-clock of the analysis window).
+    pub duration_secs: f64,
+    /// Mean cloud GPU utilization demanded per device, in `[0, ..)`.
+    pub gpu_utilization_per_device: f64,
+    /// Devices one GPU can serve at full utilization (the paper's
+    /// scalability headline).
+    pub supported_devices_per_gpu: f64,
+    /// Mean uplink Kbps per device.
+    pub mean_uplink_kbps: f64,
+}
+
+/// Runs the fleet analysis.
+///
+/// Each device replays the same stream *preset* with a distinct seed
+/// (different traffic, same statistics) so the fleet represents `devices`
+/// cameras of the same deployment. Models are pre-trained once and cloned
+/// per device.
+pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+    let (student, teacher) = Simulation::build_models(&config.base);
+    let teacher_infer_secs = config
+        .cloud_gpu
+        .secs_for(mask_rcnn_x101().total_forward_flops());
+
+    let mut per_device = Vec::with_capacity(config.devices);
+    for device in 0..config.devices {
+        let mut device_config = config.base.clone();
+        device_config.stream = device_config
+            .stream
+            .with_seed(config.base.stream.seed.wrapping_add(device as u64 * 7919));
+        device_config.sim_seed = config.base.sim_seed.wrapping_add(device as u64);
+        let report =
+            Simulation::run_with_models(&device_config, student.clone(), teacher.clone());
+        per_device.push(report);
+    }
+
+    let duration_secs = per_device
+        .first()
+        .map(|r| r.duration_secs)
+        .unwrap_or_default();
+    let cloud_gpu_secs: f64 = per_device
+        .iter()
+        .map(|r| r.teacher_frames as f64 * teacher_infer_secs + r.cloud_training_secs)
+        .sum();
+    let mean_map50 =
+        per_device.iter().map(|r| r.map50).sum::<f64>() / config.devices as f64;
+    let mean_uplink_kbps =
+        per_device.iter().map(|r| r.uplink_kbps).sum::<f64>() / config.devices as f64;
+    let per_device_util = cloud_gpu_secs / config.devices as f64 / duration_secs.max(1e-9);
+
+    FleetReport {
+        strategy: config.base.strategy.name(),
+        devices: config.devices,
+        mean_map50,
+        cloud_gpu_secs,
+        duration_secs,
+        gpu_utilization_per_device: per_device_util,
+        supported_devices_per_gpu: if per_device_util > 0.0 {
+            1.0 / per_device_util
+        } else {
+            f64::INFINITY
+        },
+        mean_uplink_kbps,
+        per_device,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use shoggoth_video::presets;
+
+    fn fleet(strategy: Strategy, devices: usize) -> FleetReport {
+        let mut base = SimConfig::quick(presets::kitti(71).with_total_frames(1800));
+        base.strategy = strategy;
+        run_fleet(&FleetConfig::new(base, devices))
+    }
+
+    #[test]
+    fn fleet_runs_one_report_per_device() {
+        let report = fleet(Strategy::Shoggoth, 3);
+        assert_eq!(report.per_device.len(), 3);
+        assert_eq!(report.devices, 3);
+        assert!(report.duration_secs > 0.0);
+    }
+
+    #[test]
+    fn devices_see_different_streams() {
+        let report = fleet(Strategy::Shoggoth, 2);
+        assert_ne!(
+            report.per_device[0].per_frame_map,
+            report.per_device[1].per_frame_map,
+            "devices must not replay identical traffic"
+        );
+    }
+
+    #[test]
+    fn cloud_only_demands_far_more_gpu_than_shoggoth() {
+        let shoggoth = fleet(Strategy::Shoggoth, 2);
+        let cloud = fleet(Strategy::CloudOnly, 2);
+        assert!(
+            cloud.cloud_gpu_secs > 10.0 * shoggoth.cloud_gpu_secs.max(1e-9),
+            "cloud-only {} vs shoggoth {}",
+            cloud.cloud_gpu_secs,
+            shoggoth.cloud_gpu_secs
+        );
+        assert!(cloud.supported_devices_per_gpu < shoggoth.supported_devices_per_gpu);
+    }
+
+    #[test]
+    fn ams_training_costs_cloud_gpu_time() {
+        let shoggoth = fleet(Strategy::Shoggoth, 2);
+        let ams = fleet(Strategy::Ams, 2);
+        let ams_training: f64 = ams
+            .per_device
+            .iter()
+            .map(|r| r.cloud_training_secs)
+            .sum();
+        let shoggoth_training: f64 = shoggoth
+            .per_device
+            .iter()
+            .map(|r| r.cloud_training_secs)
+            .sum();
+        assert_eq!(shoggoth_training, 0.0, "Shoggoth trains on the edge");
+        if ams.per_device.iter().any(|r| r.training_sessions > 0) {
+            assert!(ams_training > 0.0, "AMS must bill cloud training time");
+        }
+    }
+
+    #[test]
+    fn edge_only_uses_no_cloud_gpu() {
+        let report = fleet(Strategy::EdgeOnly, 2);
+        assert_eq!(report.cloud_gpu_secs, 0.0);
+        assert!(report.supported_devices_per_gpu.is_infinite());
+    }
+}

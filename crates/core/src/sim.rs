@@ -1,0 +1,674 @@
+//! The deterministic edge-cloud simulation engine.
+//!
+//! [`Simulation::run`] plays a synthetic video stream frame by frame at
+//! 30 fps through a chosen [`Strategy`], exercising the real components:
+//! the student genuinely infers and trains, the teacher genuinely labels,
+//! the link genuinely bills every byte, and the controller genuinely moves
+//! the sampling rate. The resulting [`SimReport`] carries every quantity
+//! the paper's tables and figures report.
+
+use crate::cloud::{CloudConfig, CloudServer};
+use crate::strategy::Strategy;
+use crate::trainer::{AdaptiveTrainer, FreezePolicy, ReplayPlacement, TrainerConfig};
+use serde::Serialize;
+use shoggoth_compute::training::{training_time, TrainingPlan};
+use shoggoth_compute::{jetson_tx2, v100, Contention, DeviceProfile};
+use shoggoth_metrics::map::{average_iou, frame_map_at_05, map_at_05, FrameEval};
+use shoggoth_metrics::FpsTracker;
+use shoggoth_models::{
+    Detector, LabeledSample, StudentConfig, StudentDetector, TeacherConfig, TeacherDetector,
+};
+use shoggoth_net::{Codec, FrameGroupStats, Link, LinkConfig, Message};
+use shoggoth_util::Rng;
+use shoggoth_video::{Frame, StreamConfig};
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The video stream to play.
+    pub stream: StreamConfig,
+    /// The strategy under test.
+    pub strategy: Strategy,
+    /// Edge adaptive-training parameters.
+    pub trainer: TrainerConfig,
+    /// Cloud labeling / controller parameters.
+    pub cloud: CloudConfig,
+    /// Edge ↔ cloud link.
+    pub link: LinkConfig,
+    /// Codec used for frame uploads.
+    pub codec: Codec,
+    /// GPU contention model on the edge device.
+    pub contention: Contention,
+    /// Edge device profile (wall-clock model).
+    pub edge_device: DeviceProfile,
+    /// Cloud device profile (AMS training wall-clock).
+    pub cloud_device: DeviceProfile,
+    /// Sampled frames per upload chunk. The edge buffers this many sampled
+    /// frames, H.264-encodes the buffer (1–3 s in the paper) and ships it;
+    /// the cloud labels each chunk on arrival and updates the sampling
+    /// rate, while the edge pools labeled samples until a full training
+    /// batch ([`TrainerConfig::batch_frames`]) has accumulated.
+    pub upload_chunk_frames: usize,
+    /// Confidence threshold used for the edge's estimated-accuracy
+    /// signal α (a prediction counts as "accurate" when its posterior
+    /// clears this). Deliberately stricter than the 0.5 labeling
+    /// threshold: the micro-student's argmax posterior over a handful of
+    /// classes is rarely below 0.5, so a 0.5 cut would saturate α at 1.
+    pub alpha_conf_threshold: f32,
+    /// Modeled size of one AMS model update on the downlink. Our
+    /// stand-in student is a micro-MLP, but AMS ships the *real*
+    /// YOLOv4-ResNet18 student (compressed deltas on the order of a
+    /// megabyte), so the byte accounting uses this paper-scale figure.
+    pub ams_update_bytes: u64,
+    /// Student initialization / pre-training seed.
+    pub student_seed: u64,
+    /// Teacher initialization / pre-training seed.
+    pub teacher_seed: u64,
+    /// Simulation-event seed.
+    pub sim_seed: u64,
+    /// Use the small `quick()` model configurations (for tests).
+    pub quick_models: bool,
+}
+
+impl SimConfig {
+    /// Paper-scaled defaults around a stream.
+    pub fn new(stream: StreamConfig) -> Self {
+        Self {
+            stream,
+            strategy: Strategy::Shoggoth,
+            trainer: TrainerConfig::paper_scaled(),
+            cloud: CloudConfig::default(),
+            link: LinkConfig::cellular(),
+            codec: Codec::h264_like(),
+            contention: Contention::default(),
+            edge_device: jetson_tx2(),
+            cloud_device: v100(),
+            upload_chunk_frames: 10,
+            alpha_conf_threshold: 0.8,
+            ams_update_bytes: 1_200_000,
+            student_seed: 1,
+            teacher_seed: 2,
+            sim_seed: 3,
+            quick_models: false,
+        }
+    }
+
+    /// Small models and short sessions, for tests and examples.
+    pub fn quick(stream: StreamConfig) -> Self {
+        Self {
+            trainer: TrainerConfig::quick(),
+            upload_chunk_frames: 4,
+            quick_models: true,
+            ..Self::new(stream)
+        }
+    }
+}
+
+/// Everything one simulation run measured.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimReport {
+    /// Strategy name.
+    pub strategy: String,
+    /// Stream preset name.
+    pub stream_name: String,
+    /// Frames played.
+    pub frames: u64,
+    /// Stream duration in seconds.
+    pub duration_secs: f64,
+    /// Pooled mAP@0.5 over the whole stream (Tables I, II).
+    pub map50: f64,
+    /// Average IoU of matched detections (Table III).
+    pub average_iou: f64,
+    /// Per-frame mAP@0.5 (Figure 5's CDF input).
+    pub per_frame_map: Vec<f64>,
+    /// Average uplink rate in Kbps (Tables I, III).
+    pub uplink_kbps: f64,
+    /// Average downlink rate in Kbps (Table I).
+    pub downlink_kbps: f64,
+    /// Total uplink bytes.
+    pub uplink_bytes: u64,
+    /// Total downlink bytes.
+    pub downlink_bytes: u64,
+    /// Average achieved inference FPS (Figure 4 left).
+    pub avg_fps: f64,
+    /// Lowest instantaneous FPS (the training dip).
+    pub min_fps: f64,
+    /// FPS time series in 1 s buckets (Figure 4 right).
+    pub fps_series: Vec<(f64, f64)>,
+    /// Completed adaptive-training sessions.
+    pub training_sessions: usize,
+    /// Mean modeled wall-clock per session in seconds.
+    pub avg_session_secs: f64,
+    /// Time-averaged sampling rate in fps.
+    pub avg_sampling_rate: f64,
+    /// Sampling rate at the end of the run.
+    pub final_sampling_rate: f64,
+    /// Frames the cloud teacher ran inference on (labeling for adaptive
+    /// strategies; every frame for Cloud-Only). Drives the fleet
+    /// scalability analysis: cloud GPU time per device.
+    pub teacher_frames: u64,
+    /// Total modeled cloud GPU seconds spent training (non-zero only for
+    /// AMS, whose distillation runs on the server).
+    pub cloud_training_secs: f64,
+}
+
+/// The simulation engine.
+#[derive(Debug)]
+pub struct Simulation;
+
+impl Simulation {
+    /// Pre-trains the models a configuration calls for. Exposed so
+    /// experiment harnesses can build them once and share across strategy
+    /// runs (the models are cloned per run).
+    pub fn build_models(config: &SimConfig) -> (StudentDetector, TeacherDetector) {
+        let world = config.stream.library.world();
+        let (dim, classes) = (world.feature_dim(), world.num_classes());
+        let (student_cfg, teacher_cfg) = if config.quick_models {
+            (
+                StudentConfig::new(dim, classes, config.student_seed).quick(),
+                TeacherConfig::new(dim, classes, config.teacher_seed).quick(),
+            )
+        } else {
+            (
+                StudentConfig::new(dim, classes, config.student_seed),
+                TeacherConfig::new(dim, classes, config.teacher_seed),
+            )
+        };
+        let student = StudentDetector::pretrained_with(student_cfg, &config.stream.library, 0);
+        let teacher = TeacherDetector::pretrained_with(teacher_cfg, &config.stream.library);
+        (student, teacher)
+    }
+
+    /// Builds models and runs the simulation.
+    pub fn run(config: &SimConfig) -> SimReport {
+        let (student, teacher) = Self::build_models(config);
+        Self::run_with_models(config, student, teacher)
+    }
+
+    /// Runs the simulation with externally pre-trained models.
+    pub fn run_with_models(
+        config: &SimConfig,
+        student: StudentDetector,
+        teacher: TeacherDetector,
+    ) -> SimReport {
+        Engine::new(config, student, teacher).run()
+    }
+}
+
+/// Mutable state of one run.
+struct Engine<'a> {
+    config: &'a SimConfig,
+    student: StudentDetector,
+    cloud: CloudServer,
+    trainer: AdaptiveTrainer,
+    /// AMS's cloud-side shadow student and its trainer.
+    shadow: Option<(StudentDetector, AdaptiveTrainer)>,
+    link: Link,
+    rng: Rng,
+    num_classes: usize,
+
+    sampling_rate: f64,
+    next_sample_time: f64,
+    /// Sampled frames awaiting upload (one codec chunk).
+    chunk: Vec<Frame>,
+    /// Labeled samples pooled toward the next training batch.
+    pool: Vec<LabeledSample>,
+    /// Frames contributing to the pool.
+    pool_frames: usize,
+    training_until: f64,
+    busy_secs_window: f64,
+    last_rate_update: f64,
+    alpha_hits: u64,
+    alpha_total: u64,
+
+    frame_evals: Vec<FrameEval>,
+    per_frame_map: Vec<f64>,
+    fps: FpsTracker,
+    rate_sum: f64,
+    sessions: usize,
+    session_secs_sum: f64,
+    teacher_frames: u64,
+    cloud_training_secs: f64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(config: &'a SimConfig, student: StudentDetector, teacher: TeacherDetector) -> Self {
+        let num_classes = config.stream.library.world().num_classes();
+        let cloud = CloudServer::new(teacher, num_classes, config.cloud);
+        let initial_rate = config
+            .strategy
+            .fixed_rate()
+            .unwrap_or(config.cloud.controller.initial_rate);
+        let shadow = if config.strategy == Strategy::Ams {
+            // AMS (Khani et al.) fine-tunes the *entire* student in the
+            // cloud — no latent replay, full backpropagation — which is
+            // exactly the paper's Table II "Input" configuration. The
+            // cloud's V100 can afford it; the cost shows up as model-sized
+            // downlink updates and slightly more forgetting.
+            let ams_trainer = TrainerConfig {
+                placement: ReplayPlacement::Input,
+                freeze: FreezePolicy::FullyTrainable,
+                // AMS keeps only a recent-frame window, not a reservoir
+                // replay memory — a capacity of one disables replay.
+                replay_capacity: 1,
+                ..config.trainer.clone()
+            };
+            Some((student.clone(), AdaptiveTrainer::new(ams_trainer)))
+        } else {
+            None
+        };
+        Self {
+            trainer: AdaptiveTrainer::new(config.trainer.clone()),
+            link: Link::new(config.link),
+            rng: Rng::seed_from(config.sim_seed ^ 0x53_49_4d), // "SIM"
+            sampling_rate: initial_rate,
+            next_sample_time: 0.0,
+            chunk: Vec::new(),
+            pool: Vec::new(),
+            pool_frames: 0,
+            training_until: f64::NEG_INFINITY,
+            busy_secs_window: 0.0,
+            last_rate_update: 0.0,
+            alpha_hits: 0,
+            alpha_total: 0,
+            frame_evals: Vec::new(),
+            per_frame_map: Vec::new(),
+            fps: FpsTracker::new(),
+            rate_sum: 0.0,
+            sessions: 0,
+            session_secs_sum: 0.0,
+            teacher_frames: 0,
+            cloud_training_secs: 0.0,
+            config,
+            student,
+            cloud,
+            shadow,
+            num_classes,
+        }
+    }
+
+    fn run(mut self) -> SimReport {
+        let strategy = self.config.strategy;
+        let stream = self.config.stream.build();
+        let fps_cap = self.config.edge_device.idle_inference_fps;
+        let mut frames_played = 0u64;
+
+        for frame in stream {
+            let t = frame.timestamp;
+            frames_played += 1;
+
+            // Achieved inference rate under training contention.
+            let training_active = strategy.trains_on_edge() && t < self.training_until;
+            let fps_now = self.config.contention.inference_fps(fps_cap, training_active);
+            self.fps.record(t, fps_now);
+            self.rate_sum += self.sampling_rate;
+
+            // System inference output for this frame.
+            let detections = match strategy {
+                Strategy::CloudOnly => self.cloud_only_frame(&frame),
+                _ => self.student.detect(&frame),
+            };
+
+            // Estimated-accuracy bookkeeping (the α metric).
+            let theta = self.config.alpha_conf_threshold;
+            for d in &detections {
+                self.alpha_total += 1;
+                if d.confidence >= theta {
+                    self.alpha_hits += 1;
+                }
+            }
+
+            // Frame sampling toward the upload chunk.
+            if strategy.uses_sampling() && t >= self.next_sample_time {
+                self.chunk.push(frame.clone());
+                self.next_sample_time = t + 1.0 / self.sampling_rate.max(1e-6);
+                if self.chunk.len() >= self.config.upload_chunk_frames {
+                    self.upload_chunk(t);
+                }
+                if self.pool_frames >= self.config.trainer.batch_frames {
+                    self.adapt(t);
+                }
+            }
+
+            // Evaluation.
+            self.per_frame_map.push(frame_map_at_05(
+                &FrameEval {
+                    detections: detections.clone(),
+                    ground_truth: frame.ground_truth.clone(),
+                },
+                self.num_classes,
+            ));
+            self.frame_evals.push(FrameEval {
+                detections,
+                ground_truth: frame.ground_truth,
+            });
+        }
+
+        let duration = frames_played as f64 / self.config.stream.fps as f64;
+        let mut bandwidth = shoggoth_metrics::BandwidthMeter::new();
+        bandwidth.record_uplink(self.link.uplink_bytes());
+        bandwidth.record_downlink(self.link.downlink_bytes());
+        bandwidth.finish(duration);
+
+        SimReport {
+            strategy: strategy.name(),
+            stream_name: self.config.stream.name.clone(),
+            frames: frames_played,
+            duration_secs: duration,
+            map50: map_at_05(&self.frame_evals, self.num_classes),
+            average_iou: average_iou(&self.frame_evals),
+            per_frame_map: self.per_frame_map,
+            uplink_kbps: bandwidth.uplink_kbps(),
+            downlink_kbps: bandwidth.downlink_kbps(),
+            uplink_bytes: self.link.uplink_bytes(),
+            downlink_bytes: self.link.downlink_bytes(),
+            avg_fps: self.fps.average(),
+            min_fps: self.fps.min(),
+            fps_series: self.fps.series(1.0),
+            training_sessions: self.sessions,
+            avg_session_secs: if self.sessions == 0 {
+                0.0
+            } else {
+                self.session_secs_sum / self.sessions as f64
+            },
+            avg_sampling_rate: if frames_played == 0 {
+                0.0
+            } else {
+                self.rate_sum / frames_played as f64
+            },
+            final_sampling_rate: self.sampling_rate,
+            teacher_frames: self.teacher_frames,
+            cloud_training_secs: self.cloud_training_secs,
+        }
+    }
+
+    /// Cloud-Only: upload the live frame, infer with the golden model,
+    /// ship mask-bearing results back.
+    fn cloud_only_frame(&mut self, frame: &Frame) -> Vec<shoggoth_models::Detection> {
+        let codec = &self.config.codec;
+        let gop_position = (frame.index % codec.gop.max(1) as u64) as usize;
+        let encoded = if gop_position == 0 {
+            codec.encode_single(frame.raw_bytes)
+        } else {
+            let sim = codec.similarity(
+                1.0 / self.config.stream.fps as f64,
+                frame.motion_magnitude,
+            );
+            let ratio = codec.i_frame_ratio + (codec.p_frame_ratio - codec.i_frame_ratio) * sim;
+            ((frame.raw_bytes as f64 / ratio).ceil() as u64).max(1)
+        };
+        self.link.send_uplink(
+            Message::FrameBatch {
+                frames: 1,
+                encoded_bytes: encoded,
+            },
+            &mut self.rng,
+        );
+        self.teacher_frames += 1;
+        let detections = self.cloud.infer(frame);
+        self.link.send_downlink(
+            Message::MaskResults {
+                count: detections.len(),
+                frame_encoded_bytes: encoded,
+            },
+            &mut self.rng,
+        );
+        detections
+    }
+
+    /// The chunk-upload event: encode + ship the sampled chunk, have the
+    /// cloud label it (pooling the labeled samples toward the next
+    /// training batch), and update the sampling rate.
+    fn upload_chunk(&mut self, t: f64) {
+        let strategy = self.config.strategy;
+        let gap = 1.0 / self.sampling_rate.max(1e-6);
+        let stats: Vec<FrameGroupStats> = self
+            .chunk
+            .iter()
+            .map(|f| FrameGroupStats::new(f.raw_bytes, f.motion_magnitude))
+            .collect();
+        let encoded = self.config.codec.encode_group(&stats, gap);
+        let delivered = self
+            .link
+            .send_uplink(
+                Message::FrameBatch {
+                    frames: self.chunk.len(),
+                    encoded_bytes: encoded,
+                },
+                &mut self.rng,
+            )
+            .is_some();
+
+        if delivered {
+            self.teacher_frames += self.chunk.len() as u64;
+            let refs: Vec<&Frame> = self.chunk.iter().collect();
+            let labels = self.cloud.label_batch(&refs);
+            let label_msg = Message::Labels {
+                samples: labels.total_samples,
+            };
+            let labels_arrived = self.link.send_downlink(label_msg, &mut self.rng).is_some();
+            if labels_arrived {
+                self.pool_frames += self.chunk.len();
+                self.pool.extend(labels.per_frame.concat());
+            }
+        }
+
+        // Telemetry and rate control — once per chunk, so the controller
+        // reacts within seconds of a scene change.
+        self.link.send_uplink(Message::Telemetry, &mut self.rng);
+        if strategy.adaptive_rate() {
+            let alpha = if self.alpha_total == 0 {
+                self.config.cloud.controller.alpha_target
+            } else {
+                self.alpha_hits as f64 / self.alpha_total as f64
+            };
+            let elapsed = (t - self.last_rate_update).max(1e-6);
+            let lambda = (0.35 + self.busy_secs_window / elapsed).clamp(0.0, 1.0);
+            self.sampling_rate = self.cloud.update_rate(alpha, lambda);
+            self.last_rate_update = t;
+            self.busy_secs_window = 0.0;
+            self.alpha_hits = 0;
+            self.alpha_total = 0;
+        }
+        self.chunk.clear();
+    }
+
+    /// A full training batch has pooled: adapt the student (edge-side or
+    /// cloud-side per strategy).
+    fn adapt(&mut self, t: f64) {
+        let fresh = std::mem::take(&mut self.pool);
+        self.pool_frames = 0;
+        match self.config.strategy {
+            Strategy::Ams => self.ams_adapt(&fresh),
+            _ => self.edge_adapt(&fresh, t),
+        }
+    }
+
+    /// Edge-side adaptive training (Shoggoth / Prompt / fixed rates).
+    fn edge_adapt(&mut self, fresh: &[LabeledSample], t: f64) {
+        self.trainer
+            .train_session(&mut self.student, fresh, &mut self.rng);
+        let secs = self.session_wallclock(&self.config.edge_device);
+        self.training_until = t + secs;
+        self.busy_secs_window += secs;
+        self.sessions += 1;
+        self.session_secs_sum += secs;
+    }
+
+    /// AMS: the cloud fine-tunes a shadow student and streams the full
+    /// model back; edge inference never contends with training.
+    fn ams_adapt(&mut self, fresh: &[LabeledSample]) {
+        let (shadow, shadow_trainer) = self
+            .shadow
+            .as_mut()
+            .expect("AMS runs always construct a shadow student");
+        shadow_trainer.train_session(shadow, fresh, &mut self.rng);
+        let weights = shadow.net().export_weights();
+        let arrived = self
+            .link
+            .send_downlink(
+                Message::ModelWeights {
+                    bytes: self.config.ams_update_bytes,
+                },
+                &mut self.rng,
+            )
+            .is_some();
+        if arrived {
+            self.student
+                .net_mut()
+                .import_weights(&weights)
+                .expect("shadow and edge students share an architecture");
+        }
+        self.sessions += 1;
+        let secs = self.ams_session_wallclock();
+        self.session_secs_sum += secs;
+        self.cloud_training_secs += secs;
+    }
+
+    /// Modeled wall-clock of one AMS cloud-side session: full fine-tuning
+    /// on raw frames (input-layer data, everything trainable, nothing
+    /// cacheable) at the paper's 1:5 fresh:window ratio.
+    fn ams_session_wallclock(&self) -> f64 {
+        let stack = shoggoth_compute::yolov4_resnet18();
+        let cfg = &self.config.trainer;
+        let mut plan = TrainingPlan::input_replay(&stack)
+            .with_batch(cfg.batch_frames, cfg.batch_frames * 5);
+        plan.trainable_from = 0;
+        plan.epochs = cfg.epochs;
+        training_time(&stack, &plan, &self.config.cloud_device).total_secs()
+    }
+
+    /// Modeled wall-clock of one training session on a device.
+    fn session_wallclock(&self, device: &DeviceProfile) -> f64 {
+        let stack = shoggoth_compute::yolov4_resnet18();
+        let cfg = &self.config.trainer;
+        let mut plan = match cfg.placement {
+            ReplayPlacement::Penultimate => TrainingPlan::paper_defaults(&stack),
+            ReplayPlacement::Input => TrainingPlan::input_replay(&stack),
+            ReplayPlacement::Layer(_) => TrainingPlan::conv5_4(&stack),
+        };
+        if cfg.replay_capacity <= 1 {
+            plan = TrainingPlan::no_replay(&stack);
+        }
+        if matches!(
+            cfg.freeze,
+            FreezePolicy::SlowFront { .. } | FreezePolicy::FullyTrainable
+        ) {
+            plan.cache_front = false;
+            plan.trainable_from = 0;
+        }
+        let replay_frames = if plan.replay_images == 0 {
+            0
+        } else {
+            cfg.batch_frames * 5
+        };
+        plan = plan.with_batch(cfg.batch_frames, replay_frames);
+        plan.epochs = cfg.epochs;
+        training_time(&stack, &plan, device).total_secs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoggoth_video::presets;
+
+    fn quick_config(strategy: Strategy, frames: u64) -> SimConfig {
+        let mut config = SimConfig::quick(presets::kitti(21).with_total_frames(frames));
+        config.strategy = strategy;
+        config
+    }
+
+    #[test]
+    fn edge_only_uses_no_network() {
+        let report = Simulation::run(&quick_config(Strategy::EdgeOnly, 200));
+        assert_eq!(report.uplink_bytes, 0);
+        assert_eq!(report.downlink_bytes, 0);
+        assert_eq!(report.training_sessions, 0);
+        assert_eq!(report.frames, 200);
+        assert!((report.avg_fps - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cloud_only_is_bandwidth_hungry_and_accurate() {
+        let config = quick_config(Strategy::CloudOnly, 200);
+        let (student, teacher) = Simulation::build_models(&config);
+        let cloud = Simulation::run_with_models(&config, student.clone(), teacher.clone());
+        let mut edge_cfg = quick_config(Strategy::EdgeOnly, 200);
+        edge_cfg.stream = config.stream.clone();
+        let edge = Simulation::run_with_models(&edge_cfg, student, teacher);
+        assert!(cloud.uplink_kbps > 50.0 * edge.uplink_kbps.max(1.0));
+        assert!(cloud.downlink_kbps > cloud.uplink_kbps * 0.8);
+        assert!(cloud.map50 >= edge.map50 - 0.02);
+    }
+
+    #[test]
+    fn shoggoth_trains_and_bills_bandwidth() {
+        let report = Simulation::run(&quick_config(Strategy::Shoggoth, 900));
+        assert!(report.training_sessions >= 1, "no sessions in 30 s");
+        assert!(report.uplink_bytes > 0);
+        assert!(report.downlink_bytes > 0);
+        // Downlink carries only labels: far smaller than the uplink.
+        assert!(report.downlink_bytes * 5 < report.uplink_bytes);
+        assert!(report.min_fps < 30.0, "training dip should appear");
+    }
+
+    #[test]
+    fn ams_ships_models_downlink() {
+        let config = quick_config(Strategy::Ams, 900);
+        let report = Simulation::run(&config);
+        assert!(report.training_sessions >= 1);
+        // Model weights dominate the downlink.
+        let shoggoth = Simulation::run(&quick_config(Strategy::Shoggoth, 900));
+        assert!(
+            report.downlink_bytes > 3 * shoggoth.downlink_bytes,
+            "AMS downlink {} should dwarf Shoggoth's {}",
+            report.downlink_bytes,
+            shoggoth.downlink_bytes
+        );
+        // AMS never contends with edge inference.
+        assert!((report.avg_fps - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let config = quick_config(Strategy::Shoggoth, 400);
+        let (student, teacher) = Simulation::build_models(&config);
+        let a = Simulation::run_with_models(&config, student.clone(), teacher.clone());
+        let b = Simulation::run_with_models(&config, student, teacher);
+        assert_eq!(a.map50, b.map50);
+        assert_eq!(a.uplink_bytes, b.uplink_bytes);
+        assert_eq!(a.per_frame_map, b.per_frame_map);
+    }
+
+    #[test]
+    fn fixed_rate_strategies_never_move_the_rate() {
+        let report = Simulation::run(&quick_config(Strategy::FixedRate(0.4), 600));
+        assert!((report.final_sampling_rate - 0.4).abs() < 1e-9);
+        assert!((report.avg_sampling_rate - 0.4).abs() < 1e-9);
+        let prompt = Simulation::run(&quick_config(Strategy::Prompt, 600));
+        assert!((prompt.final_sampling_rate - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_fixed_rates_cost_more_uplink() {
+        let slow = Simulation::run(&quick_config(Strategy::FixedRate(0.5), 900));
+        let fast = Simulation::run(&quick_config(Strategy::FixedRate(2.0), 900));
+        assert!(
+            fast.uplink_bytes > slow.uplink_bytes,
+            "fast {} vs slow {}",
+            fast.uplink_bytes,
+            slow.uplink_bytes
+        );
+    }
+
+    #[test]
+    fn per_frame_map_covers_every_frame() {
+        let report = Simulation::run(&quick_config(Strategy::EdgeOnly, 150));
+        assert_eq!(report.per_frame_map.len(), 150);
+        assert!(report
+            .per_frame_map
+            .iter()
+            .all(|m| (0.0..=1.0).contains(m)));
+    }
+}

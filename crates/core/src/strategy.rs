@@ -1,0 +1,130 @@
+//! The strategies compared in the paper's evaluation (§IV-A).
+
+use serde::{Deserialize, Serialize};
+
+/// An inference/adaptation strategy.
+///
+/// These are exactly the five strategies of the paper's Table I, plus the
+/// fixed-rate family used by Table III's sensitivity study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Strategy {
+    /// The paper's system: edge inference, cloud labeling, edge adaptive
+    /// training with latent replay, adaptive frame sampling.
+    Shoggoth,
+    /// The edge model without any video-specific customization.
+    EdgeOnly,
+    /// Every frame uploaded; the golden model infers in the cloud and
+    /// ships results (with masks) back.
+    CloudOnly,
+    /// Shoggoth without adaptive sampling: a fixed 2 fps sampling rate
+    /// (the paper's maximum), prompt and regular model adaptation.
+    Prompt,
+    /// Adaptive Model Streaming (Khani et al.): the entire distillation
+    /// runs in the cloud on a shadow student, and every update ships the
+    /// full student weights down to the edge. Adaptive sampling is kept,
+    /// as in the paper's comparison.
+    Ams,
+    /// Shoggoth with a fixed sampling rate (Table III's sensitivity
+    /// sweep).
+    FixedRate(f64),
+}
+
+impl Strategy {
+    /// Human-readable name, matching the paper's table headers.
+    pub fn name(&self) -> String {
+        match self {
+            Strategy::Shoggoth => "Shoggoth".into(),
+            Strategy::EdgeOnly => "Edge-Only".into(),
+            Strategy::CloudOnly => "Cloud-Only".into(),
+            Strategy::Prompt => "Prompt".into(),
+            Strategy::Ams => "AMS".into(),
+            Strategy::FixedRate(r) => format!("Fixed({r})"),
+        }
+    }
+
+    /// Whether the edge device samples and uploads frames for labeling.
+    pub fn uses_sampling(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Shoggoth | Strategy::Prompt | Strategy::Ams | Strategy::FixedRate(_)
+        )
+    }
+
+    /// Whether the sampling rate adapts via the controller (Eqs. 2–3).
+    pub fn adaptive_rate(&self) -> bool {
+        matches!(self, Strategy::Shoggoth | Strategy::Ams)
+    }
+
+    /// Whether adaptation training runs on the edge device (contending
+    /// with inference for the GPU).
+    pub fn trains_on_edge(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Shoggoth | Strategy::Prompt | Strategy::FixedRate(_)
+        )
+    }
+
+    /// The fixed sampling rate, if this strategy has one.
+    pub fn fixed_rate(&self) -> Option<f64> {
+        match self {
+            Strategy::Prompt => Some(2.0),
+            Strategy::FixedRate(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The five strategies of Table I, in column order.
+    pub fn table_one() -> [Strategy; 5] {
+        [
+            Strategy::EdgeOnly,
+            Strategy::CloudOnly,
+            Strategy::Prompt,
+            Strategy::Ams,
+            Strategy::Shoggoth,
+        ]
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_and_training_flags_are_consistent() {
+        assert!(Strategy::Shoggoth.uses_sampling());
+        assert!(Strategy::Shoggoth.adaptive_rate());
+        assert!(Strategy::Shoggoth.trains_on_edge());
+        assert!(!Strategy::EdgeOnly.uses_sampling());
+        assert!(!Strategy::CloudOnly.uses_sampling());
+        assert!(Strategy::Ams.uses_sampling());
+        assert!(Strategy::Ams.adaptive_rate());
+        assert!(!Strategy::Ams.trains_on_edge(), "AMS trains in the cloud");
+        assert!(!Strategy::Prompt.adaptive_rate());
+    }
+
+    #[test]
+    fn prompt_is_pinned_at_two_fps() {
+        assert_eq!(Strategy::Prompt.fixed_rate(), Some(2.0));
+        assert_eq!(Strategy::FixedRate(0.4).fixed_rate(), Some(0.4));
+        assert_eq!(Strategy::Shoggoth.fixed_rate(), None);
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Strategy::Ams.name(), "AMS");
+        assert_eq!(Strategy::EdgeOnly.name(), "Edge-Only");
+        assert_eq!(Strategy::FixedRate(0.8).to_string(), "Fixed(0.8)");
+    }
+
+    #[test]
+    fn table_one_has_five_columns() {
+        assert_eq!(Strategy::table_one().len(), 5);
+    }
+}

@@ -1,0 +1,147 @@
+//! Achieved inference frame-rate tracking (Figure 4).
+
+/// Records the achieved inference FPS over time.
+///
+/// The simulation pushes one sample per processed frame: the wall-clock
+/// time and the instantaneous rate the device could sustain at that moment
+/// (30 fps when idle, less while adaptive training contends for the GPU).
+/// The tracker reports the overall average (Fig. 4 left) and a
+/// fixed-interval time series (Fig. 4 right).
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth_metrics::FpsTracker;
+///
+/// let mut fps = FpsTracker::new();
+/// fps.record(0.0, 30.0);
+/// fps.record(1.0, 15.0);
+/// assert!((fps.average() - 22.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FpsTracker {
+    samples: Vec<(f64, f64)>,
+}
+
+impl FpsTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the achieved rate at time `t` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is negative or either value is non-finite.
+    pub fn record(&mut self, t: f64, fps: f64) {
+        assert!(t.is_finite() && fps.is_finite() && fps >= 0.0, "invalid sample");
+        self.samples.push((t, fps));
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Overall average achieved FPS; `0.0` with no samples.
+    pub fn average(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|(_, f)| f).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Minimum recorded FPS; `0.0` with no samples.
+    pub fn min(&self) -> f64 {
+        let lowest = self
+            .samples
+            .iter()
+            .map(|(_, f)| *f)
+            .fold(f64::INFINITY, f64::min);
+        if lowest.is_finite() {
+            lowest
+        } else {
+            0.0
+        }
+    }
+
+    /// Time series bucketed into `bucket_secs` intervals: one
+    /// `(bucket_start, mean_fps)` point per non-empty bucket, in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_secs <= 0`.
+    pub fn series(&self, bucket_secs: f64) -> Vec<(f64, f64)> {
+        assert!(bucket_secs > 0.0, "bucket length must be positive");
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let mut buckets: std::collections::BTreeMap<i64, (f64, usize)> =
+            std::collections::BTreeMap::new();
+        for &(t, f) in &self.samples {
+            let key = (t / bucket_secs).floor() as i64;
+            let entry = buckets.entry(key).or_insert((0.0, 0));
+            entry.0 += f;
+            entry.1 += 1;
+        }
+        buckets
+            .into_iter()
+            .map(|(k, (sum, n))| (k as f64 * bucket_secs, sum / n as f64))
+            .collect()
+    }
+
+    /// The raw samples.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_of_empty_is_zero() {
+        assert_eq!(FpsTracker::new().average(), 0.0);
+        assert_eq!(FpsTracker::new().min(), 0.0);
+    }
+
+    #[test]
+    fn series_buckets_and_averages() {
+        let mut fps = FpsTracker::new();
+        fps.record(0.1, 30.0);
+        fps.record(0.9, 20.0);
+        fps.record(2.5, 10.0);
+        let series = fps.series(1.0);
+        assert_eq!(series, vec![(0.0, 25.0), (2.0, 10.0)]);
+    }
+
+    #[test]
+    fn min_tracks_training_dips() {
+        let mut fps = FpsTracker::new();
+        fps.record(0.0, 30.0);
+        fps.record(1.0, 15.0);
+        fps.record(2.0, 30.0);
+        assert_eq!(fps.min(), 15.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sample")]
+    fn negative_fps_rejected() {
+        FpsTracker::new().record(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket length must be positive")]
+    fn zero_bucket_rejected() {
+        let mut fps = FpsTracker::new();
+        fps.record(0.0, 30.0);
+        fps.series(0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Average Precision and mAP@0.5.
+
+use crate::matching::match_detections;
+use shoggoth_models::Detection;
+use shoggoth_video::GroundTruthObject;
+
+/// A frame's detections paired with its ground truth, the unit of
+/// evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameEval {
+    /// The detector's output on the frame.
+    pub detections: Vec<Detection>,
+    /// The frame's ground-truth objects.
+    pub ground_truth: Vec<GroundTruthObject>,
+}
+
+/// Mean Average Precision at IoU 0.5 over a set of frames, averaged over
+/// the classes that appear in the ground truth.
+///
+/// Uses VOC-2010-style all-point interpolation: detections of each class
+/// are pooled across frames, ranked by confidence, matched greedily within
+/// their frame, and AP is the area under the interpolated precision-recall
+/// curve. Classes with no ground truth anywhere are skipped (not counted as
+/// zero), matching common practice.
+///
+/// Returns `0.0` if no class has any ground truth.
+pub fn map_at_05(frames: &[FrameEval], num_classes: usize) -> f64 {
+    let mut ap_sum = 0.0;
+    let mut classes_counted = 0;
+    for class in 0..num_classes {
+        if let Some(ap) = average_precision(frames, class, 0.5) {
+            ap_sum += ap;
+            classes_counted += 1;
+        }
+    }
+    if classes_counted == 0 {
+        0.0
+    } else {
+        ap_sum / classes_counted as f64
+    }
+}
+
+/// mAP@0.5 of a single frame (used for the paper's Fig. 5 per-frame CDF).
+pub fn frame_map_at_05(frame: &FrameEval, num_classes: usize) -> f64 {
+    map_at_05(std::slice::from_ref(frame), num_classes)
+}
+
+/// Average Precision of one class at the given IoU threshold, or `None`
+/// when the class never appears in the ground truth.
+pub fn average_precision(frames: &[FrameEval], class: usize, iou: f32) -> Option<f64> {
+    // (confidence, is_tp) per detection of this class, pooled over frames.
+    let mut scored: Vec<(f32, bool)> = Vec::new();
+    let mut total_gt = 0usize;
+    for frame in frames {
+        let class_dets: Vec<Detection> = frame
+            .detections
+            .iter()
+            .filter(|d| d.class == class)
+            .cloned()
+            .collect();
+        let class_gt: Vec<GroundTruthObject> = frame
+            .ground_truth
+            .iter()
+            .filter(|g| g.class == class)
+            .cloned()
+            .collect();
+        total_gt += class_gt.len();
+        let result = match_detections(&class_dets, &class_gt, iou);
+        for (det, assignment) in class_dets.iter().zip(&result.assignments) {
+            scored.push((det.confidence, assignment.is_some()));
+        }
+    }
+    if total_gt == 0 {
+        return None;
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite confidence"));
+
+    // Cumulative precision/recall down the ranked list.
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut recalls = Vec::with_capacity(scored.len());
+    let mut precisions = Vec::with_capacity(scored.len());
+    for &(_, is_tp) in &scored {
+        if is_tp {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+        recalls.push(tp as f64 / total_gt as f64);
+        precisions.push(tp as f64 / (tp + fp) as f64);
+    }
+
+    // All-point interpolation: running max of precision from the right,
+    // then sum precision over each recall increment.
+    let mut max_from_right = 0.0f64;
+    for p in precisions.iter_mut().rev() {
+        max_from_right = max_from_right.max(*p);
+        *p = max_from_right;
+    }
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    for (r, p) in recalls.iter().zip(&precisions) {
+        ap += (r - prev_recall) * p;
+        prev_recall = *r;
+    }
+    Some(ap)
+}
+
+/// Mean IoU of matched true-positive detections over a set of frames —
+/// Table III's "Average IoU" metric. Detections that fail to match
+/// contribute zero, and frames with ground truth but no detections drag
+/// the average down through their misses.
+///
+/// Concretely: `sum(matched IoUs) / max(total ground-truth objects, 1)`,
+/// so both localization quality and recall are reflected.
+pub fn average_iou(frames: &[FrameEval]) -> f64 {
+    let mut iou_sum = 0.0f64;
+    let mut total_gt = 0usize;
+    for frame in frames {
+        total_gt += frame.ground_truth.len();
+        let result = match_detections(&frame.detections, &frame.ground_truth, 0.5);
+        for assignment in result.assignments.iter().flatten() {
+            iou_sum += assignment.1 as f64;
+        }
+    }
+    iou_sum / total_gt.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoggoth_video::BBox;
+
+    fn gt(class: usize, x: f32) -> GroundTruthObject {
+        GroundTruthObject {
+            track_id: 0,
+            class,
+            bbox: BBox::new(x, 0.1, 0.2, 0.2),
+        }
+    }
+
+    fn det(class: usize, x: f32, conf: f32) -> Detection {
+        Detection {
+            bbox: BBox::new(x, 0.1, 0.2, 0.2),
+            class,
+            confidence: conf,
+        }
+    }
+
+    #[test]
+    fn perfect_detector_has_map_one() {
+        let frames = vec![
+            FrameEval {
+                detections: vec![det(0, 0.1, 0.9), det(1, 0.5, 0.8)],
+                ground_truth: vec![gt(0, 0.1), gt(1, 0.5)],
+            },
+            FrameEval {
+                detections: vec![det(0, 0.3, 0.7)],
+                ground_truth: vec![gt(0, 0.3)],
+            },
+        ];
+        assert!((map_at_05(&frames, 2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blind_detector_has_map_zero() {
+        let frames = vec![FrameEval {
+            detections: vec![],
+            ground_truth: vec![gt(0, 0.1)],
+        }];
+        assert_eq!(map_at_05(&frames, 1), 0.0);
+    }
+
+    #[test]
+    fn false_positives_lower_ap_when_ranked_above_hits() {
+        // FP at higher confidence than the TP: precision at the TP's rank
+        // is 1/2, so AP = 0.5.
+        let frames = vec![FrameEval {
+            detections: vec![det(0, 0.7, 0.9), det(0, 0.1, 0.5)],
+            ground_truth: vec![gt(0, 0.1)],
+        }];
+        let ap = average_precision(&frames, 0, 0.5).expect("class present");
+        assert!((ap - 0.5).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn false_positive_below_all_hits_does_not_hurt() {
+        // With all-point interpolation, trailing FPs leave AP at 1.0.
+        let frames = vec![FrameEval {
+            detections: vec![det(0, 0.1, 0.9), det(0, 0.7, 0.2)],
+            ground_truth: vec![gt(0, 0.1)],
+        }];
+        let ap = average_precision(&frames, 0, 0.5).expect("class present");
+        assert!((ap - 1.0).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn missing_class_is_skipped_not_zeroed() {
+        // Class 1 never appears in GT; mAP averages over class 0 only.
+        let frames = vec![FrameEval {
+            detections: vec![det(0, 0.1, 0.9)],
+            ground_truth: vec![gt(0, 0.1)],
+        }];
+        assert!((map_at_05(&frames, 2) - 1.0).abs() < 1e-9);
+        assert!(average_precision(&frames, 1, 0.5).is_none());
+    }
+
+    #[test]
+    fn half_recall_halves_ap() {
+        let frames = vec![FrameEval {
+            detections: vec![det(0, 0.1, 0.9)],
+            ground_truth: vec![gt(0, 0.1), gt(0, 0.6)],
+        }];
+        let ap = average_precision(&frames, 0, 0.5).expect("class present");
+        assert!((ap - 0.5).abs() < 1e-9, "ap {ap}");
+    }
+
+    #[test]
+    fn average_iou_rewards_tight_boxes() {
+        let tight = vec![FrameEval {
+            detections: vec![det(0, 0.1, 0.9)],
+            ground_truth: vec![gt(0, 0.1)],
+        }];
+        let loose = vec![FrameEval {
+            detections: vec![Detection {
+                bbox: BBox::new(0.14, 0.1, 0.2, 0.2),
+                class: 0,
+                confidence: 0.9,
+            }],
+            ground_truth: vec![gt(0, 0.1)],
+        }];
+        assert!(average_iou(&tight) > average_iou(&loose));
+        assert!((average_iou(&tight) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn average_iou_penalizes_misses() {
+        let frames = vec![FrameEval {
+            detections: vec![det(0, 0.1, 0.9)],
+            ground_truth: vec![gt(0, 0.1), gt(0, 0.6)],
+        }];
+        assert!((average_iou(&frames) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_everything_is_zero() {
+        assert_eq!(map_at_05(&[], 3), 0.0);
+        assert_eq!(average_iou(&[]), 0.0);
+    }
+
+    #[test]
+    fn frame_map_matches_single_frame_pool() {
+        let frame = FrameEval {
+            detections: vec![det(0, 0.1, 0.9)],
+            ground_truth: vec![gt(0, 0.1)],
+        };
+        assert_eq!(
+            frame_map_at_05(&frame, 1),
+            map_at_05(std::slice::from_ref(&frame), 1)
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! The detector abstraction shared by student and teacher.
+
+use shoggoth_tensor::Matrix;
+use shoggoth_video::{BBox, ClassId, Frame};
+
+/// One detection: a box, a foreground class, and a confidence score
+/// (the model's normalized posterior, the paper's `d_i`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// Detected bounding box (the proposal's box).
+    pub bbox: BBox,
+    /// Predicted foreground class.
+    pub class: ClassId,
+    /// Normalized posterior probability of the predicted class, in `[0, 1]`.
+    pub confidence: f32,
+}
+
+/// A model that turns a frame's proposals into detections.
+///
+/// Implementations classify every proposal and emit one [`Detection`] per
+/// proposal predicted as a foreground class (background predictions are
+/// dropped). Detections keep their confidence so evaluation can rank them.
+pub trait Detector {
+    /// Human-readable model name.
+    fn name(&self) -> &str;
+
+    /// Detects objects in a frame.
+    fn detect(&mut self, frame: &Frame) -> Vec<Detection>;
+
+    /// Classifies a raw feature batch, returning `(class, confidence)` per
+    /// row. The class may be the background index.
+    fn classify(&mut self, features: &Matrix) -> Vec<(ClassId, f32)>;
+}
+
+/// Stacks proposal feature vectors into a batch matrix (one row per
+/// proposal).
+///
+/// Returns a `0 × dim` matrix when `proposals` is empty (`dim` falls back
+/// to 1 so downstream shape checks fail loudly rather than silently).
+pub fn features_matrix(proposals: &[shoggoth_video::Proposal]) -> Matrix {
+    let dim = proposals.first().map_or(1, |p| p.features.len());
+    let mut m = Matrix::zeros(proposals.len(), dim);
+    for (r, p) in proposals.iter().enumerate() {
+        m.row_mut(r).copy_from_slice(&p.features);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoggoth_video::Proposal;
+
+    #[test]
+    fn features_matrix_stacks_rows() {
+        let proposals = vec![
+            Proposal {
+                bbox: BBox::new(0.0, 0.0, 0.1, 0.1),
+                features: vec![1.0, 2.0],
+                true_class: None,
+                track_id: None,
+            },
+            Proposal {
+                bbox: BBox::new(0.5, 0.5, 0.1, 0.1),
+                features: vec![3.0, 4.0],
+                true_class: Some(0),
+                track_id: Some(1),
+            },
+        ];
+        let m = features_matrix(&proposals);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_proposals_yield_empty_matrix() {
+        let m = features_matrix(&[]);
+        assert_eq!(m.rows(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Network substrate: links, message sizing, and an H.264-like codec model.
+//!
+//! The paper's bandwidth numbers (Tables I and III) are byte counts over
+//! time. This crate models the three things those counts depend on:
+//!
+//! * [`Codec`] — group-of-pictures video compression whose ratio improves
+//!   with inter-frame similarity. Shoggoth buffers sampled frames and
+//!   H.264-encodes the buffer before upload (§III-C); sparsely sampled
+//!   frames are less similar, so they compress worse per frame than a
+//!   30 fps stream.
+//! * [`Message`] — the sizes of everything that crosses the link: encoded
+//!   frame batches, label sets, model weights (AMS), detection results
+//!   (Cloud-Only's mask-bearing outputs), and telemetry.
+//! * [`Link`] — uplink/downlink accounting with latency and optional loss
+//!   (failure injection).
+//!
+//! # Examples
+//!
+//! ```
+//! use shoggoth_net::{Codec, FrameGroupStats};
+//!
+//! let codec = Codec::h264_like();
+//! // A tightly-correlated 30 fps group compresses much better than the
+//! // same frames sampled two seconds apart.
+//! let dense = codec.encode_group(&[FrameGroupStats::new(786_432, 0.002); 30], 1.0 / 30.0);
+//! let sparse = codec.encode_group(&[FrameGroupStats::new(786_432, 0.002); 30], 2.0);
+//! assert!(dense < sparse);
+//! ```
+
+pub mod codec;
+pub mod link;
+pub mod message;
+
+pub use codec::{Codec, FrameGroupStats};
+pub use link::{Link, LinkConfig, Transfer};
+pub use message::Message;

@@ -1,0 +1,201 @@
+//! The edge ↔ cloud link: byte accounting, latency, and loss injection.
+
+use crate::message::Message;
+use serde::{Deserialize, Serialize};
+use shoggoth_util::Rng;
+
+/// Link capacity and reliability parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Uplink capacity in kilobits per second.
+    pub uplink_kbps: f64,
+    /// Downlink capacity in kilobits per second.
+    pub downlink_kbps: f64,
+    /// One-way base latency in seconds.
+    pub base_latency_secs: f64,
+    /// Probability a message is lost entirely (failure injection; `0.0`
+    /// for the paper's experiments).
+    pub loss_rate: f64,
+}
+
+impl LinkConfig {
+    /// A 4G-class link: 20 Mbps up, 40 Mbps down, 25 ms one-way latency.
+    pub fn cellular() -> Self {
+        Self {
+            uplink_kbps: 20_000.0,
+            downlink_kbps: 40_000.0,
+            base_latency_secs: 0.025,
+            loss_rate: 0.0,
+        }
+    }
+
+    /// Sets the loss rate (clamped to `[0, 1]`).
+    pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
+        self.loss_rate = loss_rate.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::cellular()
+    }
+}
+
+/// The outcome of a successful transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Bytes that crossed the wire.
+    pub bytes: u64,
+    /// Transfer completion latency in seconds (serialization + base
+    /// latency).
+    pub latency_secs: f64,
+}
+
+/// A bidirectional edge ↔ cloud link with cumulative accounting.
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth_net::{Link, LinkConfig, Message};
+/// use shoggoth_util::Rng;
+///
+/// let mut link = Link::new(LinkConfig::cellular());
+/// let mut rng = Rng::seed_from(0);
+/// let sent = link.send_uplink(Message::Labels { samples: 10 }, &mut rng);
+/// assert!(sent.is_some());
+/// assert!(link.uplink_bytes() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    config: LinkConfig,
+    uplink_bytes: u64,
+    downlink_bytes: u64,
+    dropped_messages: u64,
+}
+
+impl Link {
+    /// Creates a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is not positive.
+    pub fn new(config: LinkConfig) -> Self {
+        assert!(
+            config.uplink_kbps > 0.0 && config.downlink_kbps > 0.0,
+            "link capacities must be positive"
+        );
+        Self {
+            config,
+            uplink_bytes: 0,
+            downlink_bytes: 0,
+            dropped_messages: 0,
+        }
+    }
+
+    /// The link configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Sends a message edge → cloud. Returns `None` if the message was
+    /// lost (per the configured loss rate); lost messages still consume
+    /// uplink bytes (the sender transmitted them).
+    pub fn send_uplink(&mut self, message: Message, rng: &mut Rng) -> Option<Transfer> {
+        let bytes = message.bytes();
+        self.uplink_bytes += bytes;
+        if rng.bernoulli(self.config.loss_rate) {
+            self.dropped_messages += 1;
+            return None;
+        }
+        Some(Transfer {
+            bytes,
+            latency_secs: self.transfer_secs(bytes, self.config.uplink_kbps),
+        })
+    }
+
+    /// Sends a message cloud → edge (same semantics as
+    /// [`send_uplink`](Self::send_uplink)).
+    pub fn send_downlink(&mut self, message: Message, rng: &mut Rng) -> Option<Transfer> {
+        let bytes = message.bytes();
+        self.downlink_bytes += bytes;
+        if rng.bernoulli(self.config.loss_rate) {
+            self.dropped_messages += 1;
+            return None;
+        }
+        Some(Transfer {
+            bytes,
+            latency_secs: self.transfer_secs(bytes, self.config.downlink_kbps),
+        })
+    }
+
+    fn transfer_secs(&self, bytes: u64, capacity_kbps: f64) -> f64 {
+        self.config.base_latency_secs + bytes as f64 * 8.0 / (capacity_kbps * 1000.0)
+    }
+
+    /// Total bytes transmitted edge → cloud.
+    pub fn uplink_bytes(&self) -> u64 {
+        self.uplink_bytes
+    }
+
+    /// Total bytes transmitted cloud → edge.
+    pub fn downlink_bytes(&self) -> u64 {
+        self.downlink_bytes
+    }
+
+    /// Number of messages lost to failure injection.
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped_messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates_both_directions() {
+        let mut link = Link::new(LinkConfig::cellular());
+        let mut rng = Rng::seed_from(1);
+        link.send_uplink(Message::Telemetry, &mut rng);
+        link.send_downlink(Message::Detections { count: 2 }, &mut rng);
+        assert_eq!(link.uplink_bytes(), 96);
+        assert_eq!(link.downlink_bytes(), 64 + 56);
+    }
+
+    #[test]
+    fn latency_includes_serialization_time() {
+        let mut link = Link::new(LinkConfig {
+            uplink_kbps: 8.0, // 1 kB/s
+            downlink_kbps: 8.0,
+            base_latency_secs: 0.1,
+            loss_rate: 0.0,
+        });
+        let mut rng = Rng::seed_from(2);
+        let t = link
+            .send_uplink(Message::ModelWeights { bytes: 936 }, &mut rng)
+            .expect("no loss configured");
+        // 936 + 64 header = 1000 bytes at 1 kB/s = 1 s, plus 0.1 s base.
+        assert!((t.latency_secs - 1.1).abs() < 1e-9, "{}", t.latency_secs);
+    }
+
+    #[test]
+    fn lossy_link_drops_but_still_bills_uplink() {
+        let mut link = Link::new(LinkConfig::cellular().with_loss_rate(1.0));
+        let mut rng = Rng::seed_from(3);
+        assert!(link.send_uplink(Message::Telemetry, &mut rng).is_none());
+        assert_eq!(link.dropped_messages(), 1);
+        assert!(link.uplink_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "link capacities must be positive")]
+    fn zero_capacity_rejected() {
+        Link::new(LinkConfig {
+            uplink_kbps: 0.0,
+            downlink_kbps: 1.0,
+            base_latency_secs: 0.0,
+            loss_rate: 0.0,
+        });
+    }
+}

@@ -1,0 +1,138 @@
+//! A minimal, self-contained neural-network training engine.
+//!
+//! The Shoggoth paper fine-tunes a lightweight detector *online, on the edge
+//! device*, with latent replay injected at an interior layer (§III-B). No
+//! mature training-capable ML crate exists offline, so this crate implements
+//! exactly the machinery the reproduction needs, from scratch:
+//!
+//! * [`Matrix`] — dense row-major `f32` matrices (a mini-batch is a matrix).
+//! * [`Dense`], [`Relu`], [`Tanh`] — layers with full backpropagation.
+//! * [`BatchNorm`] and [`BatchRenorm`] — the paper replaces BN with Batch
+//!   Renormalization (Ioffe 2017) for robust small-batch training.
+//! * [`SgdConfig`] — mini-batch SGD with momentum, weight decay, and
+//!   *per-layer learning-rate scaling* (the paper's freeze policy sets the
+//!   front layers' rate to zero while BRN statistics keep adapting).
+//! * [`Mlp`] — a sequential network supporting `forward_from` (inject replay
+//!   activations at an interior layer) and `backward_to` (stop
+//!   backpropagation at the replay layer when the front is frozen).
+//!
+//! Every layer's gradients are verified against finite differences in the
+//! test suite.
+//!
+//! # Examples
+//!
+//! Train a tiny classifier on XOR:
+//!
+//! ```
+//! use shoggoth_tensor::{losses, Dense, Matrix, Mlp, Mode, SgdConfig, Tanh};
+//! use shoggoth_util::Rng;
+//!
+//! let mut rng = Rng::seed_from(0);
+//! let mut net = Mlp::new(vec![
+//!     Box::new(Dense::new(2, 8, &mut rng)),
+//!     Box::new(Tanh::new()),
+//!     Box::new(Dense::new(8, 2, &mut rng)),
+//! ]);
+//! let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]])?;
+//! let labels = [0usize, 1, 1, 0];
+//! let sgd = SgdConfig::new(0.1);
+//! for _ in 0..500 {
+//!     let logits = net.forward(&x, Mode::Train)?;
+//!     let (_, grad) = losses::softmax_cross_entropy(&logits, &labels)?;
+//!     net.backward(&grad)?;
+//!     net.step(&sgd);
+//! }
+//! let logits = net.forward(&x, Mode::Eval)?;
+//! assert_eq!(logits.row_argmax(), vec![0, 1, 1, 0]);
+//! # Ok::<(), shoggoth_tensor::TensorError>(())
+//! ```
+
+pub mod layer;
+pub mod losses;
+pub mod matrix;
+pub mod net;
+pub mod norm;
+pub mod sgd;
+
+pub use layer::{Dense, Layer, Mode, ParamCursor, Relu, Tanh};
+pub use matrix::Matrix;
+pub use net::Mlp;
+pub use norm::{BatchNorm, BatchRenorm};
+pub use sgd::SgdConfig;
+
+/// Errors produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// Two shapes that had to agree did not.
+    ShapeMismatch {
+        /// The operation that failed.
+        context: &'static str,
+        /// The shape (or dimension pair) that was required.
+        expected: (usize, usize),
+        /// The shape that was supplied.
+        actual: (usize, usize),
+    },
+    /// A parameter buffer was too short or too long for the network.
+    ParamCount {
+        /// Parameters the network requires.
+        expected: usize,
+        /// Parameters supplied.
+        actual: usize,
+    },
+    /// `backward` was called without a preceding `forward` in train mode.
+    MissingForwardCache {
+        /// The layer that had no cache.
+        layer: &'static str,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch {
+                context,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {}x{}, got {}x{}",
+                expected.0, expected.1, actual.0, actual.1
+            ),
+            TensorError::ParamCount { expected, actual } => {
+                write!(f, "parameter count mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::MissingForwardCache { layer } => {
+                write!(f, "backward called on {layer} without a cached forward pass")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = TensorError::ShapeMismatch {
+            context: "test",
+            expected: (2, 3),
+            actual: (4, 5),
+        };
+        assert_eq!(err.to_string(), "shape mismatch in test: expected 2x3, got 4x5");
+        let err = TensorError::ParamCount {
+            expected: 10,
+            actual: 9,
+        };
+        assert!(err.to_string().contains("expected 10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

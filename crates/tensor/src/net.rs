@@ -1,0 +1,404 @@
+//! Sequential networks with latent-replay support.
+//!
+//! [`Mlp`] chains layers and exposes the partial-execution hooks the paper's
+//! adaptive training needs:
+//!
+//! * [`Mlp::activation_at`] — run only the front layers to produce the
+//!   activation volume stored in replay memory;
+//! * [`Mlp::forward_from`] — inject a (fresh ⊕ replay) activation batch at
+//!   the replay layer and run the remaining layers;
+//! * [`Mlp::backward_range`] — stop backpropagation at the replay layer when
+//!   the front is frozen, or continue through the front for fresh rows.
+
+use crate::layer::{Layer, Mode, ParamCursor};
+use crate::{Matrix, SgdConfig, TensorError};
+
+/// A sequential feed-forward network.
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth_tensor::{Dense, Matrix, Mlp, Mode, Relu};
+/// use shoggoth_util::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let mut net = Mlp::new(vec![
+///     Box::new(Dense::new(4, 8, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Dense::new(8, 3, &mut rng)),
+/// ]);
+/// let x = Matrix::zeros(2, 4);
+/// let logits = net.forward(&x, Mode::Eval)?;
+/// assert_eq!((logits.rows(), logits.cols()), (2, 3));
+/// # Ok::<(), shoggoth_tensor::TensorError>(())
+/// ```
+#[derive(Debug)]
+pub struct Mlp {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Clone for Mlp {
+    fn clone(&self) -> Self {
+        Self {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+        }
+    }
+}
+
+impl Mlp {
+    /// Assembles a network from layers (executed front to back).
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Layer names front to back (for diagnostics).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Full forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer shape error.
+    pub fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+        self.forward_range(0..self.layers.len(), input, mode)
+    }
+
+    /// Forward pass through layers `range` only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer shape error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the layer count.
+    pub fn forward_range(
+        &mut self,
+        range: std::ops::Range<usize>,
+        input: &Matrix,
+        mode: Mode,
+    ) -> Result<Matrix, TensorError> {
+        assert!(range.end <= self.layers.len(), "layer range out of bounds");
+        let mut x = input.clone();
+        for layer in &mut self.layers[range] {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    /// Forward pass starting at layer `start` — this is how replay
+    /// activations (stored at the replay layer) re-enter the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer shape error.
+    pub fn forward_from(
+        &mut self,
+        start: usize,
+        input: &Matrix,
+        mode: Mode,
+    ) -> Result<Matrix, TensorError> {
+        self.forward_range(start..self.layers.len(), input, mode)
+    }
+
+    /// Runs layers `0..upto` in eval mode to produce the activation volume
+    /// stored in replay memory (no caches recorded, running stats used).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer shape error.
+    pub fn activation_at(&mut self, upto: usize, input: &Matrix) -> Result<Matrix, TensorError> {
+        self.forward_range(0..upto, input, Mode::Eval)
+    }
+
+    /// Full backward pass; returns the gradient w.r.t. the network input.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer cache/shape errors.
+    pub fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
+        self.backward_range(0..self.layers.len(), grad_output)
+    }
+
+    /// Backward pass through layers `range` (processed back to front);
+    /// returns the gradient w.r.t. the input of layer `range.start`.
+    ///
+    /// Used to stop at the replay layer: `backward_range(replay..len, g)`
+    /// trains only the layers after the replay point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer cache/shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the layer count.
+    pub fn backward_range(
+        &mut self,
+        range: std::ops::Range<usize>,
+        grad_output: &Matrix,
+    ) -> Result<Matrix, TensorError> {
+        assert!(range.end <= self.layers.len(), "layer range out of bounds");
+        let mut g = grad_output.clone();
+        for layer in self.layers[range].iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    /// Applies accumulated gradients to every layer with a uniform learning
+    /// rate.
+    pub fn step(&mut self, cfg: &SgdConfig) {
+        for layer in &mut self.layers {
+            layer.apply_update(cfg, 1.0);
+        }
+    }
+
+    /// Applies accumulated gradients with a per-layer learning-rate scale
+    /// (the paper's freeze policy: `0.0` for frozen front layers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `scales.len()` differs from
+    /// the layer count.
+    pub fn step_scaled(&mut self, cfg: &SgdConfig, scales: &[f32]) -> Result<(), TensorError> {
+        if scales.len() != self.layers.len() {
+            return Err(TensorError::ShapeMismatch {
+                context: "Mlp::step_scaled",
+                expected: (self.layers.len(), 1),
+                actual: (scales.len(), 1),
+            });
+        }
+        for (layer, &scale) in self.layers.iter_mut().zip(scales) {
+            layer.apply_update(cfg, scale);
+        }
+        Ok(())
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Serialized model size in bytes (4 bytes per `f32` parameter) — the
+    /// quantity AMS ships over the downlink on every update.
+    pub fn byte_size(&self) -> usize {
+        self.param_count() * std::mem::size_of::<f32>()
+    }
+
+    /// Exports all parameters as a flat buffer (stable layer order).
+    pub fn export_weights(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.export_params(&mut out);
+        }
+        out
+    }
+
+    /// Imports parameters previously produced by
+    /// [`export_weights`](Mlp::export_weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ParamCount`] if the buffer length does not
+    /// exactly match the network.
+    pub fn import_weights(&mut self, weights: &[f32]) -> Result<(), TensorError> {
+        if weights.len() != self.param_count() {
+            return Err(TensorError::ParamCount {
+                expected: self.param_count(),
+                actual: weights.len(),
+            });
+        }
+        let mut cursor = ParamCursor::new(weights);
+        for layer in &mut self.layers {
+            layer.import_params(&mut cursor)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, Relu};
+    use crate::losses;
+    use crate::norm::BatchRenorm;
+    use shoggoth_util::Rng;
+
+    fn small_net(rng: &mut Rng) -> Mlp {
+        Mlp::new(vec![
+            Box::new(Dense::new(4, 16, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(16, 8, rng)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(8, 3, rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_shapes_flow_through() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = small_net(&mut rng);
+        let x = Matrix::zeros(5, 4);
+        let y = net.forward(&x, Mode::Eval).expect("shapes");
+        assert_eq!((y.rows(), y.cols()), (5, 3));
+    }
+
+    #[test]
+    fn forward_from_matches_split_execution() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = small_net(&mut rng);
+        let x = Matrix::from_fn(3, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let full = net.forward(&x, Mode::Eval).expect("shapes");
+        let mid = net.activation_at(2, &x).expect("shapes");
+        let resumed = net.forward_from(2, &mid, Mode::Eval).expect("shapes");
+        let diff = full.sub(&resumed).expect("shapes").frobenius_norm();
+        assert!(diff < 1e-5, "split execution diverged: {diff}");
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = small_net(&mut rng);
+        let x = Matrix::from_fn(32, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let labels: Vec<usize> = (0..32).map(|i| i % 3).collect();
+        let sgd = SgdConfig::new(0.05).with_momentum(0.9);
+        let initial = {
+            let logits = net.forward(&x, Mode::Train).expect("shapes");
+            let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+            net.backward(&grad).expect("cached");
+            net.step(&sgd);
+            loss
+        };
+        let mut last = initial;
+        for _ in 0..100 {
+            let logits = net.forward(&x, Mode::Train).expect("shapes");
+            let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+            net.backward(&grad).expect("cached");
+            net.step(&sgd);
+            last = loss;
+        }
+        assert!(
+            last < initial * 0.5,
+            "loss did not drop: {initial} -> {last}"
+        );
+    }
+
+    #[test]
+    fn frozen_layers_do_not_move() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = small_net(&mut rng);
+        let before = net.export_weights();
+        let x = Matrix::from_fn(8, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let labels = vec![0usize; 8];
+        let sgd = SgdConfig::new(0.1);
+        let logits = net.forward(&x, Mode::Train).expect("shapes");
+        let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+        net.backward(&grad).expect("cached");
+        // Freeze everything: weights must be bit-identical afterwards.
+        net.step_scaled(&sgd, &[0.0; 5]).expect("scales match");
+        assert_eq!(net.export_weights(), before);
+    }
+
+    #[test]
+    fn step_scaled_validates_length() {
+        let mut rng = Rng::seed_from(4);
+        let mut net = small_net(&mut rng);
+        let sgd = SgdConfig::new(0.1);
+        assert!(net.step_scaled(&sgd, &[1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_outputs() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = small_net(&mut rng);
+        let weights = net.export_weights();
+        assert_eq!(weights.len(), net.param_count());
+        let mut rng2 = Rng::seed_from(99);
+        let mut other = small_net(&mut rng2);
+        other.import_weights(&weights).expect("sizes match");
+        let x = Matrix::from_fn(4, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let a = net.forward(&x, Mode::Eval).expect("shapes");
+        let b = other.forward(&x, Mode::Eval).expect("shapes");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn import_rejects_wrong_length() {
+        let mut rng = Rng::seed_from(6);
+        let mut net = small_net(&mut rng);
+        let weights = vec![0.0; net.param_count() + 1];
+        assert!(matches!(
+            net.import_weights(&weights),
+            Err(TensorError::ParamCount { .. })
+        ));
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut rng = Rng::seed_from(7);
+        let mut net = small_net(&mut rng);
+        let mut copy = net.clone();
+        let x = Matrix::from_fn(8, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let labels = vec![1usize; 8];
+        let sgd = SgdConfig::new(0.5);
+        let logits = net.forward(&x, Mode::Train).expect("shapes");
+        let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+        net.backward(&grad).expect("cached");
+        net.step(&sgd);
+        // The clone must be unaffected by training the original.
+        assert_ne!(net.export_weights(), copy.export_weights());
+        let _ = copy.forward(&x, Mode::Eval).expect("clone still works");
+    }
+
+    #[test]
+    fn byte_size_is_four_bytes_per_param() {
+        let mut rng = Rng::seed_from(8);
+        let net = small_net(&mut rng);
+        assert_eq!(net.byte_size(), net.param_count() * 4);
+    }
+
+    #[test]
+    fn brn_network_trains_with_small_batches() {
+        // The paper's motivation for BRN: training with fine-grained batches
+        // should still converge.
+        let mut rng = Rng::seed_from(9);
+        let mut net = Mlp::new(vec![
+            Box::new(Dense::new(4, 16, &mut rng)),
+            Box::new(BatchRenorm::new(16)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(16, 2, &mut rng)),
+        ]);
+        let sgd = SgdConfig::new(0.02).with_momentum(0.9);
+        let mut final_acc = 0.0;
+        for step in 0..400 {
+            let x = Matrix::from_fn(8, 4, |r, _| {
+                let class = r % 2;
+                rng.next_gaussian_f32(if class == 0 { -1.0 } else { 1.0 }, 0.5)
+            });
+            let labels: Vec<usize> = (0..8).map(|r| r % 2).collect();
+            let logits = net.forward(&x, Mode::Train).expect("shapes");
+            let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+            net.backward(&grad).expect("cached");
+            net.step(&sgd);
+            if step >= 350 {
+                let eval = net.forward(&x, Mode::Eval).expect("shapes");
+                final_acc += losses::accuracy(&eval, &labels);
+            }
+        }
+        final_acc /= 50.0;
+        assert!(final_acc > 0.9, "BRN small-batch training accuracy {final_acc}");
+    }
+}

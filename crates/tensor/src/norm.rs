@@ -1,0 +1,622 @@
+//! Batch Normalization and Batch Renormalization layers.
+//!
+//! The paper (§III-B) replaces BN with Batch Renormalization (Ioffe, 2017)
+//! because adaptive training runs with fine-grained mini-batches whose
+//! statistics are noisy; BRN corrects the batch statistics toward the
+//! running moments with the clipped `r`/`d` factors, "controlling internal
+//! covariate shift, hence making learning with fine-grained batches faster
+//! and more robust."
+//!
+//! Both layers share the affine `γ`/`β` parameters and running-moment
+//! machinery; they differ only in the train-time normalization statistics.
+
+use crate::layer::{Layer, Mode, ParamCursor};
+use crate::{Matrix, SgdConfig, TensorError};
+
+const EPS: f32 = 1e-5;
+
+/// Internal state shared by [`BatchNorm`] and [`BatchRenorm`].
+#[derive(Debug, Clone)]
+struct NormCore {
+    dim: usize,
+    gamma: Matrix,
+    beta: Matrix,
+    grad_gamma: Matrix,
+    grad_beta: Matrix,
+    vel_gamma: Matrix,
+    vel_beta: Matrix,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    /// Momentum of the running-moment EMA update.
+    stat_momentum: f32,
+    /// Cache for backward: normalized activations `x̂`.
+    cached_xhat: Option<Matrix>,
+    /// Cache for backward: centered inputs `x - μ_B`.
+    cached_centered: Option<Matrix>,
+    /// Cache for backward: per-feature `r / σ_B` effective scale.
+    cached_scale: Option<Vec<f32>>,
+}
+
+impl NormCore {
+    fn new(dim: usize) -> Self {
+        assert!(dim > 0, "normalization dimension must be positive");
+        Self {
+            dim,
+            gamma: Matrix::filled(1, dim, 1.0),
+            beta: Matrix::zeros(1, dim),
+            grad_gamma: Matrix::zeros(1, dim),
+            grad_beta: Matrix::zeros(1, dim),
+            vel_gamma: Matrix::zeros(1, dim),
+            vel_beta: Matrix::zeros(1, dim),
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            stat_momentum: 0.1,
+            cached_xhat: None,
+            cached_centered: None,
+            cached_scale: None,
+        }
+    }
+
+    fn check_width(&self, input: &Matrix, context: &'static str) -> Result<(), TensorError> {
+        if input.cols() != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                context,
+                expected: (input.rows(), self.dim),
+                actual: (input.rows(), input.cols()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Per-feature batch mean and (biased) variance.
+    fn batch_moments(&self, input: &Matrix) -> (Vec<f32>, Vec<f32>) {
+        let n = input.rows().max(1) as f32;
+        let mut mean = vec![0.0f32; self.dim];
+        for r in 0..input.rows() {
+            for (m, &v) in mean.iter_mut().zip(input.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; self.dim];
+        for r in 0..input.rows() {
+            for ((v, &x), &m) in var.iter_mut().zip(input.row(r)).zip(&mean) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        for v in &mut var {
+            *v /= n;
+        }
+        (mean, var)
+    }
+
+    fn update_running(&mut self, mean: &[f32], var: &[f32]) {
+        let m = self.stat_momentum;
+        for i in 0..self.dim {
+            self.running_mean[i] = (1.0 - m) * self.running_mean[i] + m * mean[i];
+            self.running_var[i] = (1.0 - m) * self.running_var[i] + m * var[i];
+        }
+    }
+
+    /// Normalizes with explicit per-feature scale and shift:
+    /// `x̂ = (x − μ) * scale + shift`, then `y = γ·x̂ + β`.
+    /// Caches everything `backward` needs when `cache` is set.
+    fn normalize(
+        &mut self,
+        input: &Matrix,
+        mean: &[f32],
+        scale: &[f32],
+        shift: &[f32],
+        cache: bool,
+    ) -> Matrix {
+        let rows = input.rows();
+        let mut centered = Matrix::zeros(rows, self.dim);
+        let mut xhat = Matrix::zeros(rows, self.dim);
+        let mut out = Matrix::zeros(rows, self.dim);
+        for r in 0..rows {
+            for c in 0..self.dim {
+                let cen = input.get(r, c) - mean[c];
+                let xh = cen * scale[c] + shift[c];
+                centered.set(r, c, cen);
+                xhat.set(r, c, xh);
+                out.set(r, c, self.gamma.get(0, c) * xh + self.beta.get(0, c));
+            }
+        }
+        if cache {
+            self.cached_xhat = Some(xhat);
+            self.cached_centered = Some(centered);
+            self.cached_scale = Some(scale.to_vec());
+        }
+        out
+    }
+
+    /// Shared backward pass.
+    ///
+    /// With stop-gradient on the renorm correction factors (per Ioffe 2017),
+    /// both BN and BRN reduce to the classic BN input gradient scaled by the
+    /// cached effective per-feature scale `s = r/σ_B` (`r = 1` for BN):
+    ///
+    /// `dL/dx = s · (ĝ − mean(ĝ) − x̂_c · mean(ĝ ⊙ x̂_c))`
+    ///
+    /// where `ĝ = γ ⊙ dL/dy` and `x̂_c = centered/σ_B` is the *uncorrected*
+    /// normalized input.
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
+        let xhat = self
+            .cached_xhat
+            .take()
+            .ok_or(TensorError::MissingForwardCache { layer: "batch-norm" })?;
+        let centered = self
+            .cached_centered
+            .take()
+            .ok_or(TensorError::MissingForwardCache { layer: "batch-norm" })?;
+        let scale = self
+            .cached_scale
+            .take()
+            .ok_or(TensorError::MissingForwardCache { layer: "batch-norm" })?;
+        if grad_output.rows() != xhat.rows() || grad_output.cols() != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                context: "NormCore::backward",
+                expected: (xhat.rows(), self.dim),
+                actual: (grad_output.rows(), grad_output.cols()),
+            });
+        }
+        let n = xhat.rows() as f32;
+
+        // Parameter gradients.
+        for c in 0..self.dim {
+            let mut gg = 0.0;
+            let mut gb = 0.0;
+            for r in 0..xhat.rows() {
+                gg += grad_output.get(r, c) * xhat.get(r, c);
+                gb += grad_output.get(r, c);
+            }
+            self.grad_gamma.set(0, c, gg);
+            self.grad_beta.set(0, c, gb);
+        }
+
+        // Input gradient. The variance used at forward time is recoverable
+        // from the cached effective scale only for BN (r = 1); for BRN we
+        // cached `r/σ_B` directly, and the gradient formula needs the
+        // *uncorrected* normalized value `centered/σ_B`. We recompute σ_B
+        // from the centered cache, which is exact.
+        let mut sigma = vec![0.0f32; self.dim];
+        for c in 0..self.dim {
+            let mut v = 0.0;
+            for r in 0..centered.rows() {
+                let d = centered.get(r, c);
+                v += d * d;
+            }
+            sigma[c] = (v / n + EPS).sqrt();
+        }
+
+        let mut grad_in = Matrix::zeros(xhat.rows(), self.dim);
+        for c in 0..self.dim {
+            let gamma = self.gamma.get(0, c);
+            // ĝ statistics over the batch.
+            let mut mean_g = 0.0;
+            let mut mean_gx = 0.0;
+            for r in 0..xhat.rows() {
+                let ghat = gamma * grad_output.get(r, c);
+                let xc = centered.get(r, c) / sigma[c];
+                mean_g += ghat;
+                mean_gx += ghat * xc;
+            }
+            mean_g /= n;
+            mean_gx /= n;
+            for r in 0..xhat.rows() {
+                let ghat = gamma * grad_output.get(r, c);
+                let xc = centered.get(r, c) / sigma[c];
+                grad_in.set(r, c, scale[c] * (ghat - mean_g - xc * mean_gx));
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
+        let lr = cfg.learning_rate * lr_scale;
+        if lr == 0.0 {
+            return;
+        }
+        for (params, grads, vel) in [
+            (&mut self.gamma, &self.grad_gamma, &mut self.vel_gamma),
+            (&mut self.beta, &self.grad_beta, &mut self.vel_beta),
+        ] {
+            let p = params.as_mut_slice();
+            let g = grads.as_slice();
+            let v = vel.as_mut_slice();
+            for i in 0..p.len() {
+                v[i] = cfg.momentum * v[i] - lr * g[i];
+                p[i] += v[i];
+            }
+        }
+    }
+
+    fn export_params(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(self.gamma.as_slice());
+        out.extend_from_slice(self.beta.as_slice());
+        out.extend_from_slice(&self.running_mean);
+        out.extend_from_slice(&self.running_var);
+    }
+
+    fn import_params(&mut self, cursor: &mut ParamCursor<'_>) -> Result<(), TensorError> {
+        let g = cursor.take(self.dim)?.to_vec();
+        self.gamma = Matrix::from_vec(1, self.dim, g)?;
+        let b = cursor.take(self.dim)?.to_vec();
+        self.beta = Matrix::from_vec(1, self.dim, b)?;
+        self.running_mean = cursor.take(self.dim)?.to_vec();
+        self.running_var = cursor.take(self.dim)?.to_vec();
+        Ok(())
+    }
+
+    fn param_count(&self) -> usize {
+        // γ, β plus the running moments (shipped with the model in AMS-style
+        // model streaming, so they count toward transfer size).
+        4 * self.dim
+    }
+}
+
+/// Classic Batch Normalization (Ioffe & Szegedy, 2015).
+///
+/// Train-mode forward normalizes with batch statistics and updates running
+/// moments; eval-mode forward uses the running moments.
+#[derive(Debug, Clone)]
+pub struct BatchNorm {
+    core: NormCore,
+}
+
+impl BatchNorm {
+    /// Creates a BN layer over `dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            core: NormCore::new(dim),
+        }
+    }
+
+    /// The running mean (for tests/diagnostics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.core.running_mean
+    }
+
+    /// The running variance (for tests/diagnostics).
+    pub fn running_var(&self) -> &[f32] {
+        &self.core.running_var
+    }
+}
+
+impl Layer for BatchNorm {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-norm"
+    }
+
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+        self.core.check_width(input, "BatchNorm::forward")?;
+        match mode {
+            Mode::Train => {
+                let (mean, var) = self.core.batch_moments(input);
+                let scale: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
+                let shift = vec![0.0; self.core.dim];
+                let out = self.core.normalize(input, &mean, &scale, &shift, true);
+                self.core.update_running(&mean, &var);
+                Ok(out)
+            }
+            Mode::Eval => {
+                let mean = self.core.running_mean.clone();
+                let scale: Vec<f32> = self
+                    .core
+                    .running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + EPS).sqrt())
+                    .collect();
+                let shift = vec![0.0; self.core.dim];
+                Ok(self.core.normalize(input, &mean, &scale, &shift, false))
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
+        self.core.backward(grad_output)
+    }
+
+    fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
+        self.core.apply_update(cfg, lr_scale);
+    }
+
+    fn param_count(&self) -> usize {
+        self.core.param_count()
+    }
+
+    fn export_params(&self, out: &mut Vec<f32>) {
+        self.core.export_params(out);
+    }
+
+    fn import_params(&mut self, cursor: &mut ParamCursor<'_>) -> Result<(), TensorError> {
+        self.core.import_params(cursor)
+    }
+}
+
+/// Batch Renormalization (Ioffe, 2017).
+///
+/// Train-mode forward corrects the batch statistics toward the running
+/// moments with clipped factors `r = clip(σ_B/σ, 1/r_max, r_max)` and
+/// `d = clip((μ_B − μ)/σ, −d_max, d_max)` (stop-gradient on both), making
+/// small-batch training behave like large-batch training — the property the
+/// paper relies on for fine-grained on-device batches.
+#[derive(Debug, Clone)]
+pub struct BatchRenorm {
+    core: NormCore,
+    r_max: f32,
+    d_max: f32,
+}
+
+impl BatchRenorm {
+    /// Creates a BRN layer over `dim` features with the customary clip
+    /// limits `r_max = 3`, `d_max = 5`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            core: NormCore::new(dim),
+            r_max: 3.0,
+            d_max: 5.0,
+        }
+    }
+
+    /// Overrides the clip limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `r_max >= 1` and `d_max >= 0`.
+    pub fn with_clip(mut self, r_max: f32, d_max: f32) -> Self {
+        assert!(r_max >= 1.0, "r_max must be >= 1");
+        assert!(d_max >= 0.0, "d_max must be >= 0");
+        self.r_max = r_max;
+        self.d_max = d_max;
+        self
+    }
+
+    /// The running mean (for tests/diagnostics).
+    pub fn running_mean(&self) -> &[f32] {
+        &self.core.running_mean
+    }
+}
+
+impl Layer for BatchRenorm {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-renorm"
+    }
+
+    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+        self.core.check_width(input, "BatchRenorm::forward")?;
+        match mode {
+            Mode::Train => {
+                let (mean, var) = self.core.batch_moments(input);
+                let dim = self.core.dim;
+                let mut scale = vec![0.0f32; dim];
+                let mut shift = vec![0.0f32; dim];
+                for c in 0..dim {
+                    let sigma_b = (var[c] + EPS).sqrt();
+                    let sigma_run = (self.core.running_var[c] + EPS).sqrt();
+                    let r = (sigma_b / sigma_run).clamp(1.0 / self.r_max, self.r_max);
+                    let d = ((mean[c] - self.core.running_mean[c]) / sigma_run)
+                        .clamp(-self.d_max, self.d_max);
+                    scale[c] = r / sigma_b;
+                    shift[c] = d;
+                }
+                let out = self.core.normalize(input, &mean, &scale, &shift, true);
+                self.core.update_running(&mean, &var);
+                Ok(out)
+            }
+            Mode::Eval => {
+                let mean = self.core.running_mean.clone();
+                let scale: Vec<f32> = self
+                    .core
+                    .running_var
+                    .iter()
+                    .map(|&v| 1.0 / (v + EPS).sqrt())
+                    .collect();
+                let shift = vec![0.0; self.core.dim];
+                Ok(self.core.normalize(input, &mean, &scale, &shift, false))
+            }
+        }
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
+        self.core.backward(grad_output)
+    }
+
+    fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
+        self.core.apply_update(cfg, lr_scale);
+    }
+
+    fn param_count(&self) -> usize {
+        self.core.param_count()
+    }
+
+    fn export_params(&self, out: &mut Vec<f32>) {
+        self.core.export_params(out);
+    }
+
+    fn import_params(&mut self, cursor: &mut ParamCursor<'_>) -> Result<(), TensorError> {
+        self.core.import_params(cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shoggoth_util::Rng;
+
+    fn gaussian_batch(rng: &mut Rng, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.next_gaussian_f32(mean, std))
+    }
+
+    #[test]
+    fn batchnorm_train_output_is_standardized() {
+        let mut rng = Rng::seed_from(0);
+        let mut bn = BatchNorm::new(4);
+        let x = gaussian_batch(&mut rng, 256, 4, 5.0, 2.0);
+        let y = bn.forward(&x, Mode::Train).expect("shapes");
+        let mean = y.col_mean();
+        for c in 0..4 {
+            assert!(mean.get(0, c).abs() < 1e-4, "column mean not ~0");
+        }
+        // Per-column variance ~1.
+        for c in 0..4 {
+            let mut v = 0.0;
+            for r in 0..y.rows() {
+                v += y.get(r, c) * y.get(r, c);
+            }
+            v /= y.rows() as f32;
+            assert!((v - 1.0).abs() < 1e-2, "column var {v}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_running_stats_converge() {
+        let mut rng = Rng::seed_from(1);
+        let mut bn = BatchNorm::new(2);
+        for _ in 0..400 {
+            let x = gaussian_batch(&mut rng, 64, 2, 3.0, 1.5);
+            bn.forward(&x, Mode::Train).expect("shapes");
+        }
+        assert!((bn.running_mean()[0] - 3.0).abs() < 0.2);
+        assert!((bn.running_var()[0] - 2.25).abs() < 0.4);
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_moments() {
+        let mut rng = Rng::seed_from(2);
+        let mut bn = BatchNorm::new(1);
+        for _ in 0..300 {
+            let x = gaussian_batch(&mut rng, 64, 1, 10.0, 1.0);
+            bn.forward(&x, Mode::Train).expect("shapes");
+        }
+        // A single far-off sample in eval mode should be normalized with the
+        // learned moments, not its own (degenerate) batch statistics.
+        let x = Matrix::from_rows(&[&[10.0]]).expect("valid");
+        let y = bn.forward(&x, Mode::Eval).expect("shapes");
+        assert!(y.get(0, 0).abs() < 0.3, "got {}", y.get(0, 0));
+    }
+
+    #[test]
+    fn batchrenorm_matches_batchnorm_when_stats_agree() {
+        // Once the running stats equal the batch stats, r = 1 and d = 0, so
+        // BRN must reproduce BN exactly.
+        let mut rng = Rng::seed_from(3);
+        let mut brn = BatchRenorm::new(2);
+        let mut bn = BatchNorm::new(2);
+        for _ in 0..600 {
+            let x = gaussian_batch(&mut rng, 128, 2, 0.0, 1.0);
+            brn.forward(&x, Mode::Train).expect("shapes");
+            bn.forward(&x, Mode::Train).expect("shapes");
+        }
+        let x = gaussian_batch(&mut rng, 128, 2, 0.0, 1.0);
+        // Eval mode uses running moments for both layers: outputs agree to
+        // the extent the learned moments agree.
+        let yb = bn.forward(&x, Mode::Eval).expect("shapes");
+        let yr = brn.forward(&x, Mode::Eval).expect("shapes");
+        let rel = yb.sub(&yr).expect("shapes").frobenius_norm() / yb.frobenius_norm();
+        assert!(rel < 0.05, "BN and BRN eval outputs diverge: {rel}");
+        // Train mode: BRN normalizes by the running σ (r/σ_B = 1/σ_run)
+        // while BN uses the batch σ, so agreement is approximate.
+        let yb = bn.forward(&x, Mode::Train).expect("shapes");
+        let yr = brn.forward(&x, Mode::Train).expect("shapes");
+        let rel = yb.sub(&yr).expect("shapes").frobenius_norm() / yb.frobenius_norm();
+        assert!(rel < 0.15, "BN and BRN train outputs diverge: {rel}");
+    }
+
+    #[test]
+    fn batchrenorm_clips_corrections_under_shift() {
+        // Feed a drastically shifted batch: the d correction must be clipped
+        // at d_max, keeping outputs bounded instead of exploding.
+        let mut rng = Rng::seed_from(4);
+        let mut brn = BatchRenorm::new(1).with_clip(2.0, 1.0);
+        for _ in 0..100 {
+            let x = gaussian_batch(&mut rng, 64, 1, 0.0, 1.0);
+            brn.forward(&x, Mode::Train).expect("shapes");
+        }
+        let shifted = gaussian_batch(&mut rng, 64, 1, 50.0, 1.0);
+        let y = brn.forward(&shifted, Mode::Train).expect("shapes");
+        // Without clipping, the shift term would be ~50; with d_max = 1 the
+        // output stays near the standardized batch plus at most 1.
+        let max = y.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        assert!(max < 8.0, "BRN output exploded: {max}");
+    }
+
+    #[test]
+    fn batchnorm_gradient_check() {
+        let mut rng = Rng::seed_from(5);
+        let mut bn = BatchNorm::new(3);
+        let x = gaussian_batch(&mut rng, 8, 3, 1.0, 2.0);
+        let y = bn.forward(&x, Mode::Train).expect("shapes");
+        let grad_out = y.clone(); // L = sum(y^2)/2
+        let grad_in = bn.backward(&grad_out).expect("cached");
+
+        let eps = 1e-2f32;
+        let loss = |m: &Matrix, bn: &mut BatchNorm| {
+            // Use a fresh clone so running stats are not perturbed between
+            // probes; forward in Train mode to use batch statistics.
+            let y = bn.forward(m, Mode::Train).expect("shapes");
+            y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
+        };
+        for probe in [(0usize, 0usize), (4, 1), (7, 2)] {
+            let mut bn_probe = bn.clone();
+            let mut xp = x.clone();
+            xp.set(probe.0, probe.1, x.get(probe.0, probe.1) + eps);
+            let lp = loss(&xp, &mut bn_probe);
+            let mut bn_probe = bn.clone();
+            let mut xm = x.clone();
+            xm.set(probe.0, probe.1, x.get(probe.0, probe.1) - eps);
+            let lm = loss(&xm, &mut bn_probe);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = grad_in.get(probe.0, probe.1);
+            assert!(
+                (numeric - analytic).abs() < 5e-2 * (1.0 + analytic.abs()),
+                "probe {probe:?}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_export_import_round_trip() {
+        let mut rng = Rng::seed_from(6);
+        let mut bn = BatchNorm::new(3);
+        for _ in 0..10 {
+            let x = gaussian_batch(&mut rng, 32, 3, 2.0, 1.0);
+            bn.forward(&x, Mode::Train).expect("shapes");
+        }
+        let mut buf = Vec::new();
+        bn.export_params(&mut buf);
+        assert_eq!(buf.len(), bn.param_count());
+        let mut copy = BatchNorm::new(3);
+        let mut cursor = ParamCursor::new(&buf);
+        copy.import_params(&mut cursor).expect("params fit");
+        assert_eq!(copy.running_mean(), bn.running_mean());
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut bn = BatchNorm::new(2);
+        assert!(matches!(
+            bn.backward(&Matrix::zeros(1, 2)),
+            Err(TensorError::MissingForwardCache { .. })
+        ));
+    }
+}

@@ -1,0 +1,165 @@
+//! Fixed-capacity ring buffer.
+//!
+//! The cloud server computes the scene-change score φ̄ over a "carefully
+//! selected recent frame horizon" (paper §III-C); [`RingBuffer`] holds that
+//! horizon, evicting the oldest entry once full.
+
+/// A fixed-capacity FIFO that overwrites its oldest element when full.
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth_util::RingBuffer;
+///
+/// let mut horizon = RingBuffer::new(3);
+/// for v in [1, 2, 3, 4] {
+///     horizon.push(v);
+/// }
+/// assert_eq!(horizon.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingBuffer<T> {
+    items: std::collections::VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a buffer holding at most `capacity` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring buffer capacity must be positive");
+        Self {
+            items: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends an element, returning the evicted oldest element if the
+    /// buffer was full.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        let evicted = if self.items.len() == self.capacity {
+            self.items.pop_front()
+        } else {
+            None
+        };
+        self.items.push_back(item);
+        evicted
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Maximum number of elements.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Oldest element, if any.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Newest element, if any.
+    pub fn back(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Drains all elements oldest → newest, leaving the buffer empty.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.items.drain(..).collect()
+    }
+}
+
+impl RingBuffer<f64> {
+    /// Mean of the stored values; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.items.is_empty() {
+            0.0
+        } else {
+            self.items.iter().sum::<f64>() / self.items.len() as f64
+        }
+    }
+}
+
+impl<T> Extend<T> for RingBuffer<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_below_capacity_evicts_nothing() {
+        let mut rb = RingBuffer::new(2);
+        assert_eq!(rb.push(1), None);
+        assert_eq!(rb.push(2), None);
+        assert!(rb.is_full());
+    }
+
+    #[test]
+    fn push_at_capacity_evicts_oldest() {
+        let mut rb = RingBuffer::new(2);
+        rb.push(1);
+        rb.push(2);
+        assert_eq!(rb.push(3), Some(1));
+        assert_eq!(rb.front(), Some(&2));
+        assert_eq!(rb.back(), Some(&3));
+    }
+
+    #[test]
+    fn mean_over_window() {
+        let mut rb = RingBuffer::new(3);
+        rb.extend([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(rb.mean(), 3.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        let rb: RingBuffer<f64> = RingBuffer::new(4);
+        assert_eq!(rb.mean(), 0.0);
+    }
+
+    #[test]
+    fn drain_returns_in_order_and_empties() {
+        let mut rb = RingBuffer::new(3);
+        rb.extend([5, 6, 7, 8]);
+        assert_eq!(rb.drain(), vec![6, 7, 8]);
+        assert!(rb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring buffer capacity must be positive")]
+    fn zero_capacity_rejected() {
+        RingBuffer::<u8>::new(0);
+    }
+}

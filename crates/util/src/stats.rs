@@ -1,0 +1,225 @@
+//! Summary statistics for the evaluation harness.
+//!
+//! These helpers back the paper's reported quantities: means over frame
+//! windows, percentiles, and the empirical CDF of per-frame mAP gain used by
+//! Figure 5.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(shoggoth_util::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// assert_eq!(shoggoth_util::stats::mean(&[]), 0.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population variance of a slice; `0.0` for fewer than two values.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]` or any value is NaN.
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median (50th percentile).
+pub fn median(values: &[f64]) -> f64 {
+    percentile(values, 50.0)
+}
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// Built once from a data set, then queried for `P(X <= x)` or evaluated on
+/// a grid for plotting — this is the machinery behind Figure 5's CDF of
+/// per-frame mAP gain.
+///
+/// # Examples
+///
+/// ```
+/// use shoggoth_util::stats::EmpiricalCdf;
+///
+/// let cdf = EmpiricalCdf::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.eval(2.0), 0.5);
+/// assert_eq!(cdf.eval(0.0), 0.0);
+/// assert_eq!(cdf.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Builds the CDF from a sample. NaN values are dropped.
+    pub fn new(values: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        Self { sorted }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Returns `P(X <= x)`; `0.0` for an empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of the sample strictly greater than `x`.
+    pub fn fraction_above(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+
+    /// Evaluates the CDF on `n` evenly spaced points spanning the sample
+    /// range, returning `(x, P(X <= x))` pairs suitable for plotting.
+    ///
+    /// Returns an empty vector for an empty sample or `n == 0`; a single
+    /// point when `n == 1`.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        if n == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// The sorted sample values.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_hand_checked() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn variance_of_short_inputs_is_zero() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert!((percentile(&xs, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_odd_length() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn cdf_step_values() {
+        let cdf = EmpiricalCdf::new(&[1.0, 1.0, 2.0, 5.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(1.0), 0.5);
+        assert_eq!(cdf.eval(1.5), 0.5);
+        assert_eq!(cdf.eval(2.0), 0.75);
+        assert_eq!(cdf.eval(5.0), 1.0);
+        assert_eq!(cdf.fraction_above(1.0), 0.5);
+    }
+
+    #[test]
+    fn cdf_filters_nan_and_handles_empty() {
+        let cdf = EmpiricalCdf::new(&[f64::NAN, 2.0]);
+        assert_eq!(cdf.len(), 1);
+        let empty = EmpiricalCdf::new(&[]);
+        assert!(empty.is_empty());
+        assert_eq!(empty.eval(1.0), 0.0);
+        assert!(empty.curve(5).is_empty());
+    }
+
+    #[test]
+    fn cdf_curve_spans_range_monotonically() {
+        let cdf = EmpiricalCdf::new(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let curve = cdf.curve(9);
+        assert_eq!(curve.len(), 9);
+        assert_eq!(curve[0].0, 0.0);
+        assert_eq!(curve[8].0, 4.0);
+        assert_eq!(curve[8].1, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing");
+        }
+    }
+
+    #[test]
+    fn cdf_curve_degenerate_sample() {
+        let cdf = EmpiricalCdf::new(&[2.0, 2.0]);
+        assert_eq!(cdf.curve(5), vec![(2.0, 1.0)]);
+    }
+}

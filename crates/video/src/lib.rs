@@ -1,0 +1,53 @@
+//! Synthetic drifting video streams — the data substrate of the
+//! reproduction.
+//!
+//! The paper evaluates on UA-DETRAC, KITTI and Waymo Open video with
+//! changing weather and illumination. Those datasets (and the pixels
+//! themselves) are unavailable here, so this crate generates the *structure*
+//! that matters to the system under test:
+//!
+//! * **Domains** ([`Domain`]) — a weather/illumination condition with its
+//!   own class mix (the paper's Fig. 1(c) class-distribution shift) and its
+//!   own appearance transform over a latent feature space (the paper's
+//!   Fig. 1(b) appearance shift).
+//! * **Scenes and streams** ([`StreamConfig`], [`VideoStream`]) — a stream
+//!   is a chronological chain of scenes; objects persist and move within a
+//!   scene, so nearby frames are strongly correlated while the long-run
+//!   distribution drifts.
+//! * **Frames and proposals** ([`Frame`], [`Proposal`]) — each frame carries
+//!   ground-truth objects plus region proposals (true-object proposals with
+//!   jittered boxes, and background distractors). Detectors classify
+//!   proposals; evaluation matches detections against ground truth.
+//!
+//! Three presets ([`presets::detrac`], [`presets::kitti`],
+//! [`presets::waymo`]) mirror the scale, class counts and drift tempo of the
+//! paper's datasets.
+//!
+//! # Examples
+//!
+//! ```
+//! use shoggoth_video::presets;
+//!
+//! let config = presets::detrac(42).with_total_frames(600);
+//! let frames: Vec<_> = config.build().collect();
+//! assert_eq!(frames.len(), 600);
+//! assert!(frames[0].proposals.iter().any(|p| p.true_class.is_some()));
+//! ```
+
+pub mod bbox;
+pub mod builder;
+pub mod domain;
+pub mod frame;
+pub mod presets;
+pub mod stream;
+pub mod world;
+
+pub use bbox::BBox;
+pub use builder::StreamBuilder;
+pub use domain::{Domain, DomainLibrary, Illumination, Weather};
+pub use frame::{Frame, GroundTruthObject, Proposal};
+pub use stream::{SceneSpec, StreamConfig, VideoStream};
+pub use world::{FeatureWorld, WorldConfig};
+
+/// Identifier of an object class within a stream's world.
+pub type ClassId = usize;

@@ -1,0 +1,59 @@
+//! Build your own drift scenario with [`shoggoth_video::StreamBuilder`]
+//! and run Shoggoth on it.
+//!
+//! The scenario: a highway toll plaza that is calm all morning, hit by a
+//! violent storm, then dark. Shoggoth should coast cheaply through the
+//! calm stretch and burst its sampling rate at the two drift events.
+//!
+//! ```bash
+//! cargo run --release --example custom_scenario
+//! ```
+
+use shoggoth::sim::{SimConfig, Simulation};
+use shoggoth::strategy::Strategy;
+use shoggoth_video::{Illumination, StreamBuilder, Weather, WorldConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stream = StreamBuilder::new("toll-plaza", WorldConfig::new(3, 32, 77))
+        // Classes: car, truck, motorcycle. The first domain is the
+        // pre-training source.
+        .domain("morning", Illumination::Day, Weather::Sunny, 0.0, vec![6.0, 2.0, 1.0])
+        .domain("storm", Illumination::Dusk, Weather::Rainy, 0.8, vec![4.0, 3.0, 0.2])
+        .domain("night", Illumination::Night, Weather::Cloudy, 0.9, vec![5.0, 2.0, 0.1])
+        .scene("morning", 2400) // 80 s of calm
+        .scene("storm", 1800)
+        .scene("morning", 900)
+        .scene("night", 1800)
+        .scene("morning", 900)
+        .mean_objects(6.0)
+        .transition_frames(60)
+        .build()?;
+
+    println!("custom scenario: {} frames over {} scenes", stream.total_frames(), 5);
+    println!("pre-training models ...\n");
+
+    let mut config = SimConfig::quick(stream);
+    let (student, teacher) = Simulation::build_models(&config);
+
+    println!("{:-<64}", "");
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}",
+        "strategy", "mAP %", "up Kbps", "avg rate", "sessions"
+    );
+    println!("{:-<64}", "");
+    for strategy in [Strategy::EdgeOnly, Strategy::Shoggoth, Strategy::Prompt] {
+        config.strategy = strategy;
+        let report =
+            Simulation::run_with_models(&config, student.clone(), teacher.clone());
+        println!(
+            "{:<12} {:>10.1} {:>12.1} {:>12.2} {:>10}",
+            report.strategy,
+            report.map50 * 100.0,
+            report.uplink_kbps,
+            report.avg_sampling_rate,
+            report.training_sessions
+        );
+    }
+    println!("{:-<64}", "");
+    Ok(())
+}

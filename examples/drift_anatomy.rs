@@ -1,0 +1,66 @@
+//! Anatomy of data drift — the paper's Figure 1, measured.
+//!
+//! Shows the two faces of drift on the UA-DETRAC-like preset:
+//! (a) the class distribution shifts between domains (Fig. 1(c)), and
+//! (b) the same lightweight student that is sharp on its source domain
+//! falls apart on night scenes, while the cloud teacher barely notices.
+//!
+//! ```bash
+//! cargo run --release --example drift_anatomy
+//! ```
+
+use shoggoth_models::{sample_domain_batch, StudentConfig, StudentDetector, TeacherConfig, TeacherDetector};
+use shoggoth_util::Rng;
+use shoggoth_video::domain::class_histogram;
+use shoggoth_video::presets;
+
+fn main() {
+    let stream = presets::detrac(3);
+    let library = &stream.library;
+    let world = library.world();
+    let classes = world.num_classes();
+
+    // (a) Class-distribution shift: sample each domain's mix.
+    println!("class distribution per domain (car / bus / van / truck):");
+    println!("{:-<66}", "");
+    let mut rng = Rng::seed_from(1);
+    for domain in library.domains() {
+        let draws: Vec<usize> = (0..4000).map(|_| domain.sample_class(&mut rng)).collect();
+        let hist = class_histogram(&draws, classes);
+        let bars: Vec<String> = hist.iter().map(|h| format!("{:>5.1}%", h * 100.0)).collect();
+        println!("{:<16} {}", domain.name, bars.join("  "));
+    }
+    println!("{:-<66}", "");
+
+    // (b) Appearance drift: per-domain accuracy of student vs teacher.
+    println!("\npre-training student (day-sunny only) and teacher (all domains) ...");
+    let mut student = StudentDetector::pretrained_with(
+        StudentConfig::new(world.feature_dim(), classes, 5).quick(),
+        library,
+        0,
+    );
+    let mut teacher = TeacherDetector::pretrained_with(
+        TeacherConfig::new(world.feature_dim(), classes, 6).quick(),
+        library,
+    );
+
+    println!("\nclassification accuracy per domain:");
+    println!("{:-<54}", "");
+    println!("{:<16} {:>12} {:>12} {:>10}", "domain", "student", "teacher", "gap");
+    println!("{:-<54}", "");
+    for domain in library.domains() {
+        let eval = sample_domain_batch(world, domain, 400, 200, &mut rng);
+        let s = student.evaluate(&eval);
+        let t = teacher.evaluate(&eval);
+        println!(
+            "{:<16} {:>11.1}% {:>11.1}% {:>9.1}%",
+            domain.name,
+            s * 100.0,
+            t * 100.0,
+            (t - s) * 100.0
+        );
+    }
+    println!("{:-<54}", "");
+    println!("\nthe widening gap on drifted domains is the accuracy Shoggoth's");
+    println!("adaptive online learning recovers (see `traffic_surveillance`).");
+}

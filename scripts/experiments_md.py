@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Render the measured-results section of EXPERIMENTS.md from the JSON
+files the harness binaries write to target/experiments/.
+
+Usage: python3 scripts/experiments_md.py > /tmp/measured.md
+"""
+import json
+import os
+import sys
+
+DIR = os.path.join(os.path.dirname(__file__), "..", "target", "experiments")
+
+
+def load(name):
+    path = os.path.join(DIR, f"{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def table1():
+    d = load("table1")
+    if not d:
+        return
+    print(f"### Table I (measured at {d['frames_per_stream']} frames/stream, seed {d['seed']})\n")
+    print("| Stream | Strategy | Up (Kbps) | Down (Kbps) | mAP@0.5 (%) |")
+    print("|---|---|---:|---:|---:|")
+    for r in d["reports"]:
+        print(
+            f"| {r['stream_name']} | {r['strategy']} | {r['uplink_kbps']:.1f} "
+            f"| {r['downlink_kbps']:.1f} | {r['map50'] * 100:.1f} |"
+        )
+    print()
+
+
+def table2():
+    d = load("table2")
+    if not d:
+        return
+    print(f"### Table II (measured at {d['frames']} frames, seed {d['seed']})\n")
+    print("| Method | mAP (%) | Forward (s) | Backward (s) | Overall (s) |")
+    print("|---|---:|---:|---:|---:|")
+    for r in d["rows"]:
+        print(
+            f"| {r['method']} | {r['map50'] * 100:.1f} | {r['forward_secs']:.1f} "
+            f"| {r['backward_secs']:.1f} | {r['overall_secs']:.1f} |"
+        )
+    print()
+
+
+def table3():
+    d = load("table3")
+    if not d:
+        return
+    print(f"### Table III (measured at {d['frames']} frames, seed {d['seed']})\n")
+    print("| Rate (fps) | Up BW (Kbps) | Average IoU | mAP (%) |")
+    print("|---|---:|---:|---:|")
+    for r in d["rows"]:
+        print(
+            f"| {r['rate']} | {r['uplink_kbps']:.1f} | {r['average_iou']:.3f} "
+            f"| {r['map50'] * 100:.1f} |"
+        )
+    print()
+
+
+def fig4():
+    d = load("fig4")
+    if not d:
+        return
+    print(f"### Figure 4 (measured at {d['frames']} frames, seed {d['seed']})\n")
+    print("| Strategy | Avg FPS | Min FPS |")
+    print("|---|---:|---:|")
+    for name, avg, mn in d["averages"]:
+        print(f"| {name} | {avg:.1f} | {mn:.1f} |")
+    print()
+
+
+def fig5():
+    d = load("fig5")
+    if not d:
+        return
+    print(f"### Figure 5 (measured at {d['frames']} frames, seed {d['seed']})\n")
+    print("| Strategy | frames with mAP gain > 0 vs Edge-Only |")
+    print("|---|---:|")
+    for name, frac in d["fraction_above_zero"]:
+        print(f"| {name} | {frac * 100:.1f}% |")
+    print()
+    print(f"* Shoggoth gain > AMS gain on **{d['shoggoth_beats_ams'] * 100:.1f}%** of frames (paper: 73%).")
+    print(f"* Shoggoth gain ≥ Cloud-Only gain on **{d['shoggoth_meets_cloud'] * 100:.1f}%** of frames (paper: ~20%).")
+    print()
+
+
+if __name__ == "__main__":
+    for section in (table1, table2, table3, fig4, fig5):
+        section()
+    print(file=sys.stderr)

@@ -1,0 +1,2 @@
+//! Umbrella crate re-exporting the Shoggoth reproduction workspace.
+pub use shoggoth;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: full simulations exercising every crate
+//! together, checking the paper's qualitative claims on small streams.
+
+use shoggoth::sim::{SimConfig, SimReport, Simulation};
+use shoggoth::strategy::Strategy;
+use shoggoth_models::{StudentDetector, TeacherDetector};
+use shoggoth_video::presets;
+
+/// Builds a quick config over a deterministic KITTI-like stream.
+fn config(strategy: Strategy, frames: u64) -> SimConfig {
+    let mut config = SimConfig::quick(presets::waymo(31).with_total_frames(frames));
+    config.strategy = strategy;
+    config
+}
+
+fn run_all(frames: u64) -> (Vec<(Strategy, SimReport)>, StudentDetector, TeacherDetector) {
+    let base = config(Strategy::EdgeOnly, frames);
+    let (student, teacher) = Simulation::build_models(&base);
+    let mut reports = Vec::new();
+    for strategy in Strategy::table_one() {
+        let cfg = config(strategy, frames);
+        let report = Simulation::run_with_models(&cfg, student.clone(), teacher.clone());
+        reports.push((strategy, report));
+    }
+    (reports, student, teacher)
+}
+
+fn find<'r>(reports: &'r [(Strategy, SimReport)], s: Strategy) -> &'r SimReport {
+    &reports.iter().find(|(st, _)| *st == s).expect("ran").1
+}
+
+#[test]
+fn table_one_qualitative_orderings_hold() {
+    let (reports, _, _) = run_all(2700); // 90 seconds
+    let edge = find(&reports, Strategy::EdgeOnly);
+    let cloud = find(&reports, Strategy::CloudOnly);
+    let shoggoth = find(&reports, Strategy::Shoggoth);
+    let ams = find(&reports, Strategy::Ams);
+    let prompt = find(&reports, Strategy::Prompt);
+
+    // Accuracy: the golden model dominates; adaptive strategies must not
+    // collapse relative to the static edge model. (On a 90-second stream
+    // the quick models get only 2-3 sessions, so small dips from early
+    // pseudo-label noise are tolerated — the long-horizon gains are
+    // asserted by the full-scale harness, not this smoke test.)
+    assert!(cloud.map50 > edge.map50 + 0.05, "cloud {} vs edge {}", cloud.map50, edge.map50);
+    assert!(shoggoth.map50 >= edge.map50 - 0.08, "shoggoth {} vs edge {}", shoggoth.map50, edge.map50);
+    assert!(ams.map50 >= edge.map50 - 0.08, "ams {} vs edge {}", ams.map50, edge.map50);
+    assert!(prompt.map50 >= edge.map50 - 0.08, "prompt {} vs edge {}", prompt.map50, edge.map50);
+
+    // Bandwidth: Cloud-Only dwarfs everything; Edge-Only uses nothing;
+    // Shoggoth's label downlink is tiny next to AMS's model downlink.
+    assert_eq!(edge.uplink_bytes, 0);
+    assert!(
+        cloud.uplink_bytes > 4 * shoggoth.uplink_bytes.max(1),
+        "cloud {} vs shoggoth {}",
+        cloud.uplink_bytes,
+        shoggoth.uplink_bytes
+    );
+    assert!(cloud.downlink_bytes > cloud.uplink_bytes / 2);
+    if ams.training_sessions > 0 {
+        assert!(ams.downlink_bytes > 5 * shoggoth.downlink_bytes.max(1));
+    }
+
+    // FPS: only strategies that train on the edge dip below 30.
+    assert!((edge.avg_fps - 30.0).abs() < 1e-9);
+    assert!((cloud.avg_fps - 30.0).abs() < 1e-9);
+    assert!((find(&reports, Strategy::Ams).avg_fps - 30.0).abs() < 1e-9);
+}
+
+#[test]
+fn prompt_uses_more_uplink_than_adaptive() {
+    let (reports, _, _) = run_all(2700);
+    let shoggoth = find(&reports, Strategy::Shoggoth);
+    let prompt = find(&reports, Strategy::Prompt);
+    // Prompt samples at the maximum rate; the adaptive controller cannot
+    // exceed it.
+    assert!(prompt.uplink_bytes >= shoggoth.uplink_bytes);
+    assert!(prompt.avg_sampling_rate >= shoggoth.avg_sampling_rate - 1e-9);
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let (reports, _, _) = run_all(1800);
+    for (strategy, report) in &reports {
+        assert_eq!(report.frames, 1800, "{strategy}");
+        assert_eq!(report.per_frame_map.len(), 1800, "{strategy}");
+        assert!((0.0..=1.0).contains(&report.map50), "{strategy}");
+        assert!((0.0..=1.0).contains(&report.average_iou), "{strategy}");
+        assert!(report.min_fps <= report.avg_fps, "{strategy}");
+        assert!(report.duration_secs > 59.0, "{strategy}");
+        // Kbps figures must agree with the byte totals.
+        let expect_up = report.uplink_bytes as f64 * 8.0 / 1000.0 / report.duration_secs;
+        assert!((report.uplink_kbps - expect_up).abs() < 1e-6, "{strategy}");
+    }
+}
+
+#[test]
+fn same_seed_same_report_different_seed_different_stream() {
+    let cfg = config(Strategy::Shoggoth, 900);
+    let (student, teacher) = Simulation::build_models(&cfg);
+    let a = Simulation::run_with_models(&cfg, student.clone(), teacher.clone());
+    let b = Simulation::run_with_models(&cfg, student.clone(), teacher.clone());
+    assert_eq!(a.map50, b.map50);
+    assert_eq!(a.uplink_bytes, b.uplink_bytes);
+
+    let mut cfg2 = cfg.clone();
+    cfg2.stream = cfg2.stream.with_seed(99);
+    let c = Simulation::run_with_models(&cfg2, student, teacher);
+    assert_ne!(a.per_frame_map, c.per_frame_map);
+}
+
+#[test]
+fn adaptive_rate_moves_with_the_stream() {
+    // On a long-enough stream, the controller must have moved the rate
+    // off its initial value at least once.
+    let cfg = config(Strategy::Shoggoth, 3600);
+    let report = Simulation::run(&cfg);
+    let initial = cfg.cloud.controller.initial_rate;
+    assert!(
+        (report.final_sampling_rate - initial).abs() > 1e-6
+            || (report.avg_sampling_rate - initial).abs() > 1e-3,
+        "controller never acted: avg {} final {}",
+        report.avg_sampling_rate,
+        report.final_sampling_rate
+    );
+    // And it must respect the paper's bounds.
+    assert!(report.final_sampling_rate >= 0.1 - 1e-9);
+    assert!(report.final_sampling_rate <= 2.0 + 1e-9);
+}

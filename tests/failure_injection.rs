@@ -1,0 +1,74 @@
+//! Failure-injection tests: the system must degrade gracefully, not
+//! crash, when the network misbehaves.
+
+use shoggoth::sim::{SimConfig, Simulation};
+use shoggoth::strategy::Strategy;
+use shoggoth_net::LinkConfig;
+use shoggoth_video::presets;
+
+fn base(frames: u64) -> SimConfig {
+    let mut config = SimConfig::quick(presets::kitti(61).with_total_frames(frames));
+    config.strategy = Strategy::Shoggoth;
+    config
+}
+
+#[test]
+fn lossy_link_still_completes() {
+    let mut config = base(1800);
+    config.link = LinkConfig::cellular().with_loss_rate(0.3);
+    let report = Simulation::run(&config);
+    assert_eq!(report.frames, 1800);
+    // Uplink bytes are still billed for lost messages (the sender
+    // transmitted them).
+    assert!(report.uplink_bytes > 0);
+}
+
+#[test]
+fn total_blackout_degrades_to_edge_only_accuracy() {
+    let config_ok = base(2700);
+    let (student, teacher) = Simulation::build_models(&config_ok);
+
+    let mut config_dead = config_ok.clone();
+    config_dead.link = LinkConfig::cellular().with_loss_rate(1.0);
+    let dead = Simulation::run_with_models(&config_dead, student.clone(), teacher.clone());
+
+    let mut config_edge = config_ok.clone();
+    config_edge.strategy = Strategy::EdgeOnly;
+    let edge = Simulation::run_with_models(&config_edge, student.clone(), teacher.clone());
+
+    // With every message lost, no labels ever arrive, so no training
+    // happens: accuracy matches Edge-Only on the identical stream.
+    assert_eq!(dead.training_sessions, 0);
+    assert!((dead.map50 - edge.map50).abs() < 1e-9);
+    // But the edge kept (pointlessly) transmitting.
+    assert!(dead.uplink_bytes > 0);
+    assert_eq!(dead.downlink_bytes, 0);
+}
+
+#[test]
+fn moderate_loss_costs_accuracy_but_not_correctness() {
+    let config_ok = base(3600);
+    let (student, teacher) = Simulation::build_models(&config_ok);
+    let clean = Simulation::run_with_models(&config_ok, student.clone(), teacher.clone());
+
+    let mut config_lossy = config_ok.clone();
+    config_lossy.link = LinkConfig::cellular().with_loss_rate(0.5);
+    let lossy = Simulation::run_with_models(&config_lossy, student, teacher);
+
+    // Fewer labeled chunks arrive, so at most as many sessions complete.
+    assert!(lossy.training_sessions <= clean.training_sessions);
+    // The report stays well-formed.
+    assert!((0.0..=1.0).contains(&lossy.map50));
+    assert!(lossy.min_fps > 0.0);
+}
+
+#[test]
+fn ams_survives_model_update_loss() {
+    let mut config = base(2700);
+    config.strategy = Strategy::Ams;
+    config.link = LinkConfig::cellular().with_loss_rate(0.4);
+    let report = Simulation::run(&config);
+    assert_eq!(report.frames, 2700);
+    // AMS keeps the edge at full frame rate regardless of loss.
+    assert!((report.avg_fps - 30.0).abs() < 1e-9);
+}

@@ -2,6 +2,9 @@
 //! memory management, tensor training steps, the sampling-rate controller,
 //! the codec model, and a full simulation slice.
 
+// The criterion_group! macro expands to undocumented harness functions.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use shoggoth::controller::{ControllerConfig, SamplingRateController};
 use shoggoth::replay::{ReplayItem, ReplayMemory};
@@ -44,7 +47,7 @@ fn bench_tensor(c: &mut Criterion) {
     let a = Matrix::from_fn(64, 64, |_, _| rng.next_gaussian_f32(0.0, 1.0));
     let b_mat = Matrix::from_fn(64, 64, |_, _| rng.next_gaussian_f32(0.0, 1.0));
     c.bench_function("matmul_64x64", |b| {
-        b.iter(|| black_box(a.matmul(black_box(&b_mat)).expect("shapes match")))
+        b.iter(|| black_box(a.matmul(black_box(&b_mat)).expect("shapes match")));
     });
 
     let mut student = StudentDetector::new(StudentConfig::new(32, 4, 3));
@@ -59,7 +62,7 @@ fn bench_tensor(c: &mut Criterion) {
             let (_, grad) =
                 losses::softmax_cross_entropy(&logits, &labels).expect("labels in range");
             student.net_mut().backward(&grad).expect("cached");
-        })
+        });
     });
     c.bench_function("student_inference_batch64", |b| {
         b.iter(|| {
@@ -69,17 +72,18 @@ fn bench_tensor(c: &mut Criterion) {
                     .forward(black_box(&x), Mode::Eval)
                     .expect("shapes match"),
             )
-        })
+        });
     });
 }
 
 fn bench_controller(c: &mut Criterion) {
-    let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+    let mut ctl =
+        SamplingRateController::new(ControllerConfig::paper_defaults()).expect("valid defaults");
     c.bench_function("controller_observe_and_update", |b| {
         b.iter(|| {
             ctl.observe_phi(black_box(0.3));
             black_box(ctl.update(black_box(0.6), black_box(0.4)))
-        })
+        });
     });
 }
 
@@ -87,7 +91,7 @@ fn bench_codec(c: &mut Criterion) {
     let codec = Codec::h264_like();
     let group = vec![FrameGroupStats::new(786_432, 0.004); 60];
     c.bench_function("codec_encode_group_60", |b| {
-        b.iter(|| black_box(codec.encode_group(black_box(&group), 0.5)))
+        b.iter(|| black_box(codec.encode_group(black_box(&group), 0.5)));
     });
 }
 
@@ -107,8 +111,10 @@ fn bench_training_session(c: &mut Criterion) {
         b.iter(|| {
             let mut student = student0.clone();
             let mut trainer = AdaptiveTrainer::new(TrainerConfig::quick());
-            trainer.train_session(&mut student, black_box(&fresh), &mut rng);
-        })
+            trainer
+                .train_session(&mut student, black_box(&fresh), &mut rng)
+                .expect("bench session trains");
+        });
     });
 }
 
@@ -118,12 +124,11 @@ fn bench_simulation_slice(c: &mut Criterion) {
     let (student, teacher) = Simulation::build_models(&config);
     c.bench_function("simulation_300_frames_shoggoth", |b| {
         b.iter(|| {
-            black_box(Simulation::run_with_models(
-                black_box(&config),
-                student.clone(),
-                teacher.clone(),
-            ))
-        })
+            black_box(
+                Simulation::run_with_models(black_box(&config), student.clone(), teacher.clone())
+                    .expect("bench run failed"),
+            )
+        });
     });
 }
 

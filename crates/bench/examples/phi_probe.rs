@@ -8,7 +8,10 @@ fn main() {
         let stream = stream.with_total_frames(4000);
         let lib = &stream.library;
         let w = lib.world();
-        let mut teacher = TeacherDetector::pretrained_with(TeacherConfig::new(w.feature_dim(), w.num_classes(), 2), lib);
+        let mut teacher = TeacherDetector::pretrained_with(
+            TeacherConfig::new(w.feature_dim(), w.num_classes(), 2),
+            lib,
+        );
         let frames: Vec<_> = stream.build().collect();
         print!("{:<12}", stream.name);
         for gap_frames in [15usize, 30, 60, 150, 300] {
@@ -16,11 +19,13 @@ fn main() {
             let mut prev: Option<Vec<_>> = None;
             for f in frames.iter().step_by(gap_frames) {
                 let dets = teacher.detect(f);
-                if let Some(p) = &prev { phis.push(phi_score(p, &dets)); }
+                if let Some(p) = &prev {
+                    phis.push(phi_score(p, &dets));
+                }
                 prev = Some(dets);
             }
             let mean = phis.iter().sum::<f64>() / phis.len().max(1) as f64;
-            print!("  gap{:>3}f:{:.2}", gap_frames, mean);
+            print!("  gap{gap_frames:>3}f:{mean:.2}");
         }
         println!();
     }

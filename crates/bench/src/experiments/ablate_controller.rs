@@ -52,10 +52,7 @@ fn variants() -> Vec<(&'static str, ControllerConfig)> {
                 ..base
             },
         ),
-        (
-            "alpha-only",
-            ControllerConfig { eta_r: 0.0, ..base },
-        ),
+        ("alpha-only", ControllerConfig { eta_r: 0.0, ..base }),
         (
             "loose phi target",
             ControllerConfig {
@@ -74,6 +71,10 @@ fn variants() -> Vec<(&'static str, ControllerConfig)> {
 }
 
 /// Runs the controller ablation on the UA-DETRAC preset.
+///
+/// # Panics
+///
+/// Aborts the experiment if a simulation run fails.
 pub fn run() -> ControllerResult {
     let frames = experiment_frames();
     let seed = experiment_seed();
@@ -100,7 +101,8 @@ pub fn run() -> ControllerResult {
         config.teacher_seed = seed.wrapping_add(1);
         config.sim_seed = seed.wrapping_add(2);
         let report =
-            Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone());
+            Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone())
+                .expect("experiment run failed");
         println!(
             "{:<18} {:>10.1} {:>14.1} {:>14.2} {:>12}",
             name,

@@ -34,6 +34,10 @@ pub struct ReplayResult {
 }
 
 /// Runs the replay-capacity sweep on the UA-DETRAC preset.
+///
+/// # Panics
+///
+/// Aborts the experiment if a simulation run fails.
 pub fn run() -> ReplayResult {
     let frames = experiment_frames();
     let seed = experiment_seed();
@@ -60,7 +64,8 @@ pub fn run() -> ReplayResult {
         config.teacher_seed = seed.wrapping_add(1);
         config.sim_seed = seed.wrapping_add(2);
         let report =
-            Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone());
+            Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone())
+                .expect("experiment run failed");
         println!(
             "{:<12} {:>12.1} {:>14.3}",
             capacity,

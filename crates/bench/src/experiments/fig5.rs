@@ -34,6 +34,10 @@ pub struct Fig5Result {
 }
 
 /// Runs the Figure 5 experiment.
+///
+/// # Panics
+///
+/// Aborts the experiment if a simulation run fails.
 pub fn run() -> Fig5Result {
     let frames = experiment_frames();
     let seed = experiment_seed();

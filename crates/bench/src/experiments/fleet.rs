@@ -29,6 +29,10 @@ pub struct FleetResult {
 }
 
 /// Runs the fleet-scalability analysis.
+///
+/// # Panics
+///
+/// Aborts the experiment if a fleet run fails.
 pub fn run() -> FleetResult {
     // A fleet multiplies simulation cost; use a third of the usual frames.
     let frames = (experiment_frames() / 3).max(3_000);
@@ -56,7 +60,8 @@ pub fn run() -> FleetResult {
         base.strategy = strategy;
         base.student_seed = seed;
         base.teacher_seed = seed.wrapping_add(1);
-        let report = run_fleet(&FleetConfig::new(base, devices));
+        let report =
+            run_fleet(&FleetConfig::new(base, devices)).expect("fleet experiment run failed");
         let supported = if report.supported_devices_per_gpu.is_finite() {
             format!("{:.0}", report.supported_devices_per_gpu)
         } else {

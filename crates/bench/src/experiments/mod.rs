@@ -3,9 +3,9 @@
 pub mod ablate_controller;
 pub mod ablate_replay;
 pub mod fig1c;
-pub mod fleet;
 pub mod fig4;
 pub mod fig5;
+pub mod fleet;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -14,30 +14,42 @@ use shoggoth::sim::SimReport;
 use shoggoth::strategy::Strategy;
 use shoggoth_video::presets;
 
-/// Paper Table I values: per preset, per strategy `(up, down, mAP %)` in
-/// the order Edge-Only, Cloud-Only, Prompt, AMS, Shoggoth.
-const PAPER: [(&str, [(f64, f64, f64); 5]); 3] = [
-    ("UA-DETRAC", [
-        (0.0, 0.0, 34.2),
-        (3257.0, 3539.0, 58.9),
-        (303.0, 22.0, 48.3),
-        (151.0, 226.0, 51.6),
-        (135.0, 10.0, 53.5),
-    ]),
-    ("KITTI", [
-        (0.0, 0.0, 56.8),
-        (2184.0, 2437.0, 78.0),
-        (179.0, 10.0, 71.4),
-        (94.0, 203.0, 72.8),
-        (91.0, 5.0, 74.7),
-    ]),
-    ("Waymo Open", [
-        (0.0, 0.0, 47.5),
-        (2687.0, 2880.0, 64.7),
-        (278.0, 15.0, 61.5),
-        (127.0, 207.0, 59.1),
-        (112.0, 8.0, 61.9),
-    ]),
+/// One strategy row of paper Table I: `(up, down, mAP %)`.
+type PaperRow = (f64, f64, f64);
+
+/// Paper Table I values: per preset, per strategy rows in the order
+/// Edge-Only, Cloud-Only, Prompt, AMS, Shoggoth.
+const PAPER: [(&str, [PaperRow; 5]); 3] = [
+    (
+        "UA-DETRAC",
+        [
+            (0.0, 0.0, 34.2),
+            (3257.0, 3539.0, 58.9),
+            (303.0, 22.0, 48.3),
+            (151.0, 226.0, 51.6),
+            (135.0, 10.0, 53.5),
+        ],
+    ),
+    (
+        "KITTI",
+        [
+            (0.0, 0.0, 56.8),
+            (2184.0, 2437.0, 78.0),
+            (179.0, 10.0, 71.4),
+            (94.0, 203.0, 72.8),
+            (91.0, 5.0, 74.7),
+        ],
+    ),
+    (
+        "Waymo Open",
+        [
+            (0.0, 0.0, 47.5),
+            (2687.0, 2880.0, 64.7),
+            (278.0, 15.0, 61.5),
+            (127.0, 207.0, 59.1),
+            (112.0, 8.0, 61.9),
+        ],
+    ),
 ];
 
 /// Serializable result bundle.

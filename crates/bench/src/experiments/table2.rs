@@ -8,9 +8,9 @@
 
 use crate::{experiment_frames, experiment_seed, rule, write_json, SharedModels};
 use serde::Serialize;
+use shoggoth::sim::{SimConfig, Simulation};
 use shoggoth::strategy::Strategy;
 use shoggoth::trainer::{FreezePolicy, ReplayPlacement, TrainerConfig};
-use shoggoth::sim::{SimConfig, Simulation};
 use shoggoth_compute::training::{training_time, TrainingPlan};
 use shoggoth_compute::{jetson_tx2, yolov4_resnet18};
 use shoggoth_video::presets;
@@ -99,6 +99,10 @@ fn variants() -> Vec<(&'static str, TrainerConfig, TrainingPlan)> {
 }
 
 /// Runs the Table II ablation.
+///
+/// # Panics
+///
+/// Aborts the experiment if a simulation run fails.
 pub fn run() -> Table2Result {
     let frames = experiment_frames();
     let seed = experiment_seed();
@@ -127,7 +131,8 @@ pub fn run() -> Table2Result {
         config.teacher_seed = seed.wrapping_add(1);
         config.sim_seed = seed.wrapping_add(2);
         let report =
-            Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone());
+            Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone())
+                .expect("experiment run failed");
 
         let time = training_time(&stack, &plan, &device);
         let (_, p_map, p_fwd, p_bwd, p_all) = PAPER[i];

@@ -36,6 +36,10 @@ pub fn experiment_seed() -> u64 {
 }
 
 /// Directory where result JSON files land.
+///
+/// # Panics
+///
+/// Aborts if the directory cannot be created.
 pub fn out_dir() -> PathBuf {
     let dir = PathBuf::from("target/experiments");
     std::fs::create_dir_all(&dir).expect("can create target/experiments");
@@ -43,6 +47,10 @@ pub fn out_dir() -> PathBuf {
 }
 
 /// Writes a serializable result next to the printed table.
+///
+/// # Panics
+///
+/// Aborts if the result cannot be serialized or written.
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     let path = out_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("results serialize");
@@ -71,13 +79,23 @@ impl SharedModels {
 }
 
 /// Runs one strategy over a stream with shared models.
-pub fn run_strategy(stream: &StreamConfig, strategy: Strategy, models: &SharedModels, seed: u64) -> SimReport {
+///
+/// # Panics
+///
+/// Aborts if the simulation run fails.
+pub fn run_strategy(
+    stream: &StreamConfig,
+    strategy: Strategy,
+    models: &SharedModels,
+    seed: u64,
+) -> SimReport {
     let mut config = SimConfig::new(stream.clone());
     config.strategy = strategy;
     config.student_seed = seed;
     config.teacher_seed = seed.wrapping_add(1);
     config.sim_seed = seed.wrapping_add(2);
     Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone())
+        .expect("experiment run failed")
 }
 
 /// Prints a horizontal rule sized to a table width.
@@ -108,9 +126,7 @@ mod tests {
 
     #[test]
     fn table2_wallclock_variants_keep_paper_ordering() {
-        let secs = |v: &str| {
-            crate::experiments::table2::wallclock_of(v).expect("known variant")
-        };
+        let secs = |v: &str| crate::experiments::table2::wallclock_of(v).expect("known variant");
         let ours = secs("Ours (Baseline)");
         let frozen = secs("Completely Freezing");
         let conv = secs("Conv5_4");

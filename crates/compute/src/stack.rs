@@ -87,15 +87,42 @@ pub fn yolov4_resnet18() -> LayerStack {
     // why the paper's penultimate-layer replay is ~30× cheaper than
     // input-layer replay (Table II).
     LayerStack::new(vec![
-        LayerCost { name: "stem", forward_flops: 2.6e9 },
-        LayerCost { name: "conv2_x", forward_flops: 4.9e9 },
-        LayerCost { name: "conv3_x", forward_flops: 3.5e9 },
-        LayerCost { name: "conv4_x", forward_flops: 2.5e9 },
-        LayerCost { name: "conv5_1", forward_flops: 0.75e9 },
-        LayerCost { name: "conv5_4", forward_flops: 0.15e9 },
-        LayerCost { name: "neck", forward_flops: 0.15e9 },
-        LayerCost { name: "pool", forward_flops: 0.02e9 },
-        LayerCost { name: "head", forward_flops: 0.06e9 },
+        LayerCost {
+            name: "stem",
+            forward_flops: 2.6e9,
+        },
+        LayerCost {
+            name: "conv2_x",
+            forward_flops: 4.9e9,
+        },
+        LayerCost {
+            name: "conv3_x",
+            forward_flops: 3.5e9,
+        },
+        LayerCost {
+            name: "conv4_x",
+            forward_flops: 2.5e9,
+        },
+        LayerCost {
+            name: "conv5_1",
+            forward_flops: 0.75e9,
+        },
+        LayerCost {
+            name: "conv5_4",
+            forward_flops: 0.15e9,
+        },
+        LayerCost {
+            name: "neck",
+            forward_flops: 0.15e9,
+        },
+        LayerCost {
+            name: "pool",
+            forward_flops: 0.02e9,
+        },
+        LayerCost {
+            name: "head",
+            forward_flops: 0.06e9,
+        },
     ])
 }
 
@@ -104,11 +131,26 @@ pub fn yolov4_resnet18() -> LayerStack {
 /// executed): ≈ 420 GFLOP per 512×512 frame including the mask head.
 pub fn mask_rcnn_x101() -> LayerStack {
     LayerStack::new(vec![
-        LayerCost { name: "backbone", forward_flops: 280.0e9 },
-        LayerCost { name: "fpn", forward_flops: 45.0e9 },
-        LayerCost { name: "rpn", forward_flops: 25.0e9 },
-        LayerCost { name: "roi_heads", forward_flops: 40.0e9 },
-        LayerCost { name: "mask_head", forward_flops: 30.0e9 },
+        LayerCost {
+            name: "backbone",
+            forward_flops: 280.0e9,
+        },
+        LayerCost {
+            name: "fpn",
+            forward_flops: 45.0e9,
+        },
+        LayerCost {
+            name: "rpn",
+            forward_flops: 25.0e9,
+        },
+        LayerCost {
+            name: "roi_heads",
+            forward_flops: 40.0e9,
+        },
+        LayerCost {
+            name: "mask_head",
+            forward_flops: 30.0e9,
+        },
     ])
 }
 

@@ -33,7 +33,9 @@ impl TrainingPlan {
     ///
     /// Panics if the stack has no `pool` layer.
     pub fn paper_defaults(stack: &LayerStack) -> Self {
-        let pool = stack.index_of("pool").expect("stack must name a pool layer");
+        let pool = stack
+            .index_of("pool")
+            .expect("stack must name a pool layer");
         Self {
             replay_layer: pool,
             trainable_from: pool,
@@ -45,8 +47,14 @@ impl TrainingPlan {
     }
 
     /// Table II variant: replay memory on the input layer (raw images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack has no `pool` layer.
     pub fn input_replay(stack: &LayerStack) -> Self {
-        let pool = stack.index_of("pool").expect("stack must name a pool layer");
+        let pool = stack
+            .index_of("pool")
+            .expect("stack must name a pool layer");
         Self {
             replay_layer: 0,
             trainable_from: pool,
@@ -193,7 +201,10 @@ mod tests {
         let no_replay = time("no_replay");
         let input = time("input");
         // Paper Table II: 18.6 ≈ 18.5 < 26.0 < 101.9 < 567.8.
-        assert!((ours - frozen).abs() < 1e-9, "ours {ours} vs frozen {frozen}");
+        assert!(
+            (ours - frozen).abs() < 1e-9,
+            "ours {ours} vs frozen {frozen}"
+        );
         assert!(ours < conv, "ours {ours} < conv5_4 {conv}");
         assert!(conv < no_replay, "conv5_4 {conv} < no-replay {no_replay}");
         assert!(no_replay < input, "no-replay {no_replay} < input {input}");
@@ -231,6 +242,9 @@ mod tests {
         let small = TrainingPlan::paper_defaults(&stack).with_batch(60, 300);
         let tb = training_time(&stack, &big, &jetson_tx2()).total_secs();
         let ts = training_time(&stack, &small, &jetson_tx2()).total_secs();
-        assert!((ts - tb / 5.0).abs() < tb * 0.05, "expected ~5x cheaper: {tb} vs {ts}");
+        assert!(
+            (ts - tb / 5.0).abs() < tb * 0.05,
+            "expected ~5x cheaper: {tb} vs {ts}"
+        );
     }
 }

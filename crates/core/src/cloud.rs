@@ -1,6 +1,7 @@
 //! The cloud server: online labeling and the sampling-rate controller.
 
 use crate::controller::{phi_score, ControllerConfig, SamplingRateController};
+use crate::error::InvalidConfig;
 use shoggoth_models::{pseudo_label, Detection, Detector, LabeledSample, TeacherDetector};
 use shoggoth_video::Frame;
 
@@ -47,12 +48,13 @@ pub struct LabelBatch {
 /// let stream = presets::kitti(2).with_total_frames(40);
 /// let teacher = TeacherDetector::pretrained_with(
 ///     TeacherConfig::new(32, 1, 3).quick(), &stream.library);
-/// let mut cloud = CloudServer::new(teacher, 1, CloudConfig::default());
+/// let mut cloud = CloudServer::new(teacher, 1, CloudConfig::default())?;
 /// let frames: Vec<_> = stream.build().take(3).collect();
 /// let refs: Vec<&_> = frames.iter().collect();
 /// let batch = cloud.label_batch(&refs);
 /// assert_eq!(batch.per_frame.len(), 3);
 /// assert_eq!(batch.phi_scores.len(), 3);
+/// # Ok::<(), shoggoth::error::InvalidConfig>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct CloudServer {
@@ -65,14 +67,23 @@ pub struct CloudServer {
 
 impl CloudServer {
     /// Creates a cloud server around a pre-trained teacher.
-    pub fn new(teacher: TeacherDetector, num_classes: usize, config: CloudConfig) -> Self {
-        Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] if the controller configuration is
+    /// inconsistent.
+    pub fn new(
+        teacher: TeacherDetector,
+        num_classes: usize,
+        config: CloudConfig,
+    ) -> Result<Self, InvalidConfig> {
+        Ok(Self {
             teacher,
-            controller: SamplingRateController::new(config.controller),
+            controller: SamplingRateController::new(config.controller)?,
             config,
             num_classes,
             prev_labels: None,
-        }
+        })
     }
 
     /// The current sampling rate the controller prescribes.
@@ -142,11 +153,10 @@ mod tests {
 
     fn setup() -> (CloudServer, Vec<Frame>) {
         let stream = presets::kitti(12).with_total_frames(60);
-        let teacher = TeacherDetector::pretrained_with(
-            TeacherConfig::new(32, 1, 9).quick(),
-            &stream.library,
-        );
-        let cloud = CloudServer::new(teacher, 1, CloudConfig::default());
+        let teacher =
+            TeacherDetector::pretrained_with(TeacherConfig::new(32, 1, 9).quick(), &stream.library);
+        let cloud =
+            CloudServer::new(teacher, 1, CloudConfig::default()).expect("valid default config");
         let frames: Vec<Frame> = stream.build().collect();
         (cloud, frames)
     }

@@ -12,6 +12,7 @@
 //! R(λ) = (1 + λ̄_{t+1} − λ̄_t) · r_t
 //! ```
 
+use crate::error::InvalidConfig;
 use serde::{Deserialize, Serialize};
 use shoggoth_metrics::match_detections;
 use shoggoth_models::Detection;
@@ -71,7 +72,7 @@ impl Default for ControllerConfig {
 /// ```
 /// use shoggoth::controller::{ControllerConfig, SamplingRateController};
 ///
-/// let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+/// let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults())?;
 /// // Rapid scene change and poor accuracy drive the rate upward.
 /// for _ in 0..10 {
 ///     ctl.observe_phi(0.9);
@@ -79,6 +80,7 @@ impl Default for ControllerConfig {
 /// let r = ctl.update(0.3, 0.2);
 /// assert!(r > ctl.config().initial_rate);
 /// assert!(r <= ctl.config().r_max);
+/// # Ok::<(), shoggoth::error::InvalidConfig>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct SamplingRateController {
@@ -92,24 +94,32 @@ pub struct SamplingRateController {
 impl SamplingRateController {
     /// Creates a controller at the configured initial rate.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is inconsistent (`r_min > r_max`,
-    /// non-positive window, or an initial rate outside the bounds).
-    pub fn new(config: ControllerConfig) -> Self {
-        assert!(config.r_min <= config.r_max, "r_min must not exceed r_max");
-        assert!(config.phi_window > 0, "phi window must be positive");
-        assert!(
-            (config.r_min..=config.r_max).contains(&config.initial_rate),
-            "initial rate must lie within [r_min, r_max]"
-        );
-        Self {
+    /// Returns [`InvalidConfig`] if the configuration is inconsistent
+    /// (`r_min > r_max`, non-positive window, or an initial rate outside
+    /// the bounds).
+    pub fn new(config: ControllerConfig) -> Result<Self, InvalidConfig> {
+        let reject = |reason| InvalidConfig {
+            component: "sampling-rate controller",
+            reason,
+        };
+        if config.r_min > config.r_max {
+            return Err(reject("r_min must not exceed r_max"));
+        }
+        if config.phi_window == 0 {
+            return Err(reject("phi window must be positive"));
+        }
+        if !(config.r_min..=config.r_max).contains(&config.initial_rate) {
+            return Err(reject("initial rate must lie within [r_min, r_max]"));
+        }
+        Ok(Self {
             rate: config.initial_rate,
             phi_horizon: RingBuffer::new(config.phi_window),
             lambda_ewma: Ewma::new(config.lambda_alpha),
             lambda_bar_prev: 0.0,
             config,
-        }
+        })
     }
 
     /// The configuration.
@@ -168,12 +178,7 @@ pub fn phi_score(prev: &[Detection], cur: &[Detection]) -> f64 {
     }
     // Class-count total-variation term: how much did the label
     // *population* change?
-    let max_class = prev
-        .iter()
-        .chain(cur)
-        .map(|d| d.class)
-        .max()
-        .unwrap_or(0);
+    let max_class = prev.iter().chain(cur).map(|d| d.class).max().unwrap_or(0);
     let mut count_prev = vec![0i64; max_class + 1];
     let mut count_cur = vec![0i64; max_class + 1];
     for d in prev {
@@ -247,7 +252,8 @@ mod tests {
 
     #[test]
     fn rate_stays_within_bounds() {
-        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults())
+            .expect("valid defaults");
         for _ in 0..20 {
             ctl.observe_phi(1.0);
         }
@@ -260,7 +266,8 @@ mod tests {
 
     #[test]
     fn stationary_scene_drives_rate_down() {
-        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults())
+            .expect("valid defaults");
         // No scene change, accurate model, low resource pressure.
         for _ in 0..30 {
             ctl.observe_phi(0.0);
@@ -277,13 +284,17 @@ mod tests {
 
     #[test]
     fn poor_accuracy_raises_rate() {
-        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+        let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults())
+            .expect("valid defaults");
         for _ in 0..30 {
             ctl.observe_phi(0.25); // exactly on target: no φ pressure
         }
         let before = ctl.rate();
         let after = ctl.update(0.2, 0.1);
-        assert!(after > before, "low α must raise the rate: {before} -> {after}");
+        assert!(
+            after > before,
+            "low α must raise the rate: {before} -> {after}"
+        );
     }
 
     #[test]
@@ -299,21 +310,33 @@ mod tests {
             phi_window: 4,
             lambda_alpha: 1.0, // λ̄ tracks the last sample exactly
         };
-        let mut ctl = SamplingRateController::new(config);
+        let mut ctl = SamplingRateController::new(config).expect("valid config");
         ctl.observe_phi(0.6); // φ̄ = 0.6
-        // R(φ) = 1.0·(0.6−0.2) = 0.4
-        // R(α) = 2.0·max(0, 0.8−0.5) = 0.6
-        // λ̄_{t+1} = 0.3, λ̄_t = 0 → R(λ) = (1+0.3)·1.0 = 1.3
+                              // R(φ) = 1.0·(0.6−0.2) = 0.4
+                              // R(α) = 2.0·max(0, 0.8−0.5) = 0.6
+                              // λ̄_{t+1} = 0.3, λ̄_t = 0 → R(λ) = (1+0.3)·1.0 = 1.3
         let r = ctl.update(0.5, 0.3);
         assert!((r - 2.3).abs() < 1e-9, "r {r}");
     }
 
     #[test]
-    #[should_panic(expected = "initial rate must lie within")]
     fn out_of_range_initial_rate_rejected() {
-        SamplingRateController::new(ControllerConfig {
+        let err = SamplingRateController::new(ControllerConfig {
             initial_rate: 5.0,
             ..ControllerConfig::paper_defaults()
-        });
+        })
+        .expect_err("out-of-range initial rate must be rejected");
+        assert!(err.reason.contains("initial rate must lie within"), "{err}");
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        let err = SamplingRateController::new(ControllerConfig {
+            r_min: 3.0,
+            r_max: 1.0,
+            ..ControllerConfig::paper_defaults()
+        })
+        .expect_err("inverted bounds must be rejected");
+        assert!(err.reason.contains("r_min"), "{err}");
     }
 }

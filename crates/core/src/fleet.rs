@@ -10,6 +10,7 @@
 //! training for AMS — and derives the per-device GPU utilization and the
 //! supportable fleet size.
 
+use crate::error::SimError;
 use crate::sim::{SimConfig, SimReport, Simulation};
 use serde::Serialize;
 use shoggoth_compute::stack::mask_rcnn_x101;
@@ -75,7 +76,12 @@ pub struct FleetReport {
 /// (different traffic, same statistics) so the fleet represents `devices`
 /// cameras of the same deployment. Models are pre-trained once and cloned
 /// per device.
-pub fn run_fleet(config: &FleetConfig) -> FleetReport {
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] a device run produced; completed device
+/// reports are discarded (each device is cheap relative to the sweep).
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, SimError> {
     let (student, teacher) = Simulation::build_models(&config.base);
     let teacher_infer_secs = config
         .cloud_gpu
@@ -88,8 +94,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
             .stream
             .with_seed(config.base.stream.seed.wrapping_add(device as u64 * 7919));
         device_config.sim_seed = config.base.sim_seed.wrapping_add(device as u64);
-        let report =
-            Simulation::run_with_models(&device_config, student.clone(), teacher.clone());
+        let report = Simulation::run_with_models(&device_config, student.clone(), teacher.clone())?;
         per_device.push(report);
     }
 
@@ -101,13 +106,12 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         .iter()
         .map(|r| r.teacher_frames as f64 * teacher_infer_secs + r.cloud_training_secs)
         .sum();
-    let mean_map50 =
-        per_device.iter().map(|r| r.map50).sum::<f64>() / config.devices as f64;
+    let mean_map50 = per_device.iter().map(|r| r.map50).sum::<f64>() / config.devices as f64;
     let mean_uplink_kbps =
         per_device.iter().map(|r| r.uplink_kbps).sum::<f64>() / config.devices as f64;
     let per_device_util = cloud_gpu_secs / config.devices as f64 / duration_secs.max(1e-9);
 
-    FleetReport {
+    Ok(FleetReport {
         strategy: config.base.strategy.name(),
         devices: config.devices,
         mean_map50,
@@ -121,7 +125,7 @@ pub fn run_fleet(config: &FleetConfig) -> FleetReport {
         },
         mean_uplink_kbps,
         per_device,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -133,7 +137,7 @@ mod tests {
     fn fleet(strategy: Strategy, devices: usize) -> FleetReport {
         let mut base = SimConfig::quick(presets::kitti(71).with_total_frames(1800));
         base.strategy = strategy;
-        run_fleet(&FleetConfig::new(base, devices))
+        run_fleet(&FleetConfig::new(base, devices)).expect("fleet runs cleanly")
     }
 
     #[test]
@@ -148,8 +152,7 @@ mod tests {
     fn devices_see_different_streams() {
         let report = fleet(Strategy::Shoggoth, 2);
         assert_ne!(
-            report.per_device[0].per_frame_map,
-            report.per_device[1].per_frame_map,
+            report.per_device[0].per_frame_map, report.per_device[1].per_frame_map,
             "devices must not replay identical traffic"
         );
     }
@@ -171,11 +174,7 @@ mod tests {
     fn ams_training_costs_cloud_gpu_time() {
         let shoggoth = fleet(Strategy::Shoggoth, 2);
         let ams = fleet(Strategy::Ams, 2);
-        let ams_training: f64 = ams
-            .per_device
-            .iter()
-            .map(|r| r.cloud_training_secs)
-            .sum();
+        let ams_training: f64 = ams.per_device.iter().map(|r| r.cloud_training_secs).sum();
         let shoggoth_training: f64 = shoggoth
             .per_device
             .iter()

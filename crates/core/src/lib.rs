@@ -34,23 +34,26 @@
 //!
 //! let mut config = SimConfig::quick(presets::kitti(5).with_total_frames(1500));
 //! config.strategy = Strategy::Shoggoth;
-//! let report = Simulation::run(&config);
+//! let report = Simulation::run(&config)?;
 //! assert!(report.map50 > 0.0);
 //! assert!(report.training_sessions > 0);
 //! assert!(report.uplink_kbps > 0.0);
+//! # Ok::<(), shoggoth::error::SimError>(())
 //! ```
 
 pub mod cloud;
-pub mod fleet;
 pub mod controller;
+pub mod error;
+pub mod fleet;
 pub mod replay;
 pub mod sim;
 pub mod strategy;
 pub mod trainer;
 
 pub use cloud::{CloudConfig, CloudServer};
-pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use controller::{phi_score, ControllerConfig, SamplingRateController};
+pub use error::{InvalidConfig, SimError, TrainError};
+pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use replay::{ReplayItem, ReplayMemory};
 pub use sim::{SimConfig, SimReport, Simulation};
 pub use strategy::Strategy;

@@ -197,11 +197,7 @@ mod tests {
         }
         // Expected survivors from the first five batches ≈ 13 of 100 under
         // Algorithm 1's h = M_size/i decay; a plain FIFO would leave zero.
-        let from_first_runs = m
-            .items()
-            .iter()
-            .filter(|item| item.label < 5)
-            .count();
+        let from_first_runs = m.items().iter().filter(|item| item.label < 5).count();
         assert!(
             from_first_runs >= 5,
             "early batches evicted too aggressively: {from_first_runs} left"

@@ -8,6 +8,7 @@
 //! the paper's tables and figures report.
 
 use crate::cloud::{CloudConfig, CloudServer};
+use crate::error::SimError;
 use crate::strategy::Strategy;
 use crate::trainer::{AdaptiveTrainer, FreezePolicy, ReplayPlacement, TrainerConfig};
 use serde::Serialize;
@@ -180,18 +181,28 @@ impl Simulation {
     }
 
     /// Builds models and runs the simulation.
-    pub fn run(config: &SimConfig) -> SimReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is inconsistent or the
+    /// training stack fails mid-run (see [`crate::error`]).
+    pub fn run(config: &SimConfig) -> Result<SimReport, SimError> {
         let (student, teacher) = Self::build_models(config);
         Self::run_with_models(config, student, teacher)
     }
 
     /// Runs the simulation with externally pre-trained models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is inconsistent or the
+    /// training stack fails mid-run (see [`crate::error`]).
     pub fn run_with_models(
         config: &SimConfig,
         student: StudentDetector,
         teacher: TeacherDetector,
-    ) -> SimReport {
-        Engine::new(config, student, teacher).run()
+    ) -> Result<SimReport, SimError> {
+        Engine::new(config, student, teacher)?.run()
     }
 }
 
@@ -232,9 +243,13 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(config: &'a SimConfig, student: StudentDetector, teacher: TeacherDetector) -> Self {
+    fn new(
+        config: &'a SimConfig,
+        student: StudentDetector,
+        teacher: TeacherDetector,
+    ) -> Result<Self, SimError> {
         let num_classes = config.stream.library.world().num_classes();
-        let cloud = CloudServer::new(teacher, num_classes, config.cloud);
+        let cloud = CloudServer::new(teacher, num_classes, config.cloud)?;
         let initial_rate = config
             .strategy
             .fixed_rate()
@@ -257,7 +272,7 @@ impl<'a> Engine<'a> {
         } else {
             None
         };
-        Self {
+        Ok(Self {
             trainer: AdaptiveTrainer::new(config.trainer.clone()),
             link: Link::new(config.link),
             rng: Rng::seed_from(config.sim_seed ^ 0x53_49_4d), // "SIM"
@@ -284,10 +299,10 @@ impl<'a> Engine<'a> {
             cloud,
             shadow,
             num_classes,
-        }
+        })
     }
 
-    fn run(mut self) -> SimReport {
+    fn run(mut self) -> Result<SimReport, SimError> {
         let strategy = self.config.strategy;
         let stream = self.config.stream.build();
         let fps_cap = self.config.edge_device.idle_inference_fps;
@@ -299,7 +314,10 @@ impl<'a> Engine<'a> {
 
             // Achieved inference rate under training contention.
             let training_active = strategy.trains_on_edge() && t < self.training_until;
-            let fps_now = self.config.contention.inference_fps(fps_cap, training_active);
+            let fps_now = self
+                .config
+                .contention
+                .inference_fps(fps_cap, training_active);
             self.fps.record(t, fps_now);
             self.rate_sum += self.sampling_rate;
 
@@ -326,7 +344,7 @@ impl<'a> Engine<'a> {
                     self.upload_chunk(t);
                 }
                 if self.pool_frames >= self.config.trainer.batch_frames {
-                    self.adapt(t);
+                    self.adapt(t)?;
                 }
             }
 
@@ -350,7 +368,7 @@ impl<'a> Engine<'a> {
         bandwidth.record_downlink(self.link.downlink_bytes());
         bandwidth.finish(duration);
 
-        SimReport {
+        Ok(SimReport {
             strategy: strategy.name(),
             stream_name: self.config.stream.name.clone(),
             frames: frames_played,
@@ -379,7 +397,7 @@ impl<'a> Engine<'a> {
             final_sampling_rate: self.sampling_rate,
             teacher_frames: self.teacher_frames,
             cloud_training_secs: self.cloud_training_secs,
-        }
+        })
     }
 
     /// Cloud-Only: upload the live frame, infer with the golden model,
@@ -390,10 +408,7 @@ impl<'a> Engine<'a> {
         let encoded = if gop_position == 0 {
             codec.encode_single(frame.raw_bytes)
         } else {
-            let sim = codec.similarity(
-                1.0 / self.config.stream.fps as f64,
-                frame.motion_magnitude,
-            );
+            let sim = codec.similarity(1.0 / self.config.stream.fps as f64, frame.motion_magnitude);
             let ratio = codec.i_frame_ratio + (codec.p_frame_ratio - codec.i_frame_ratio) * sim;
             ((frame.raw_bytes as f64 / ratio).ceil() as u64).max(1)
         };
@@ -475,7 +490,7 @@ impl<'a> Engine<'a> {
 
     /// A full training batch has pooled: adapt the student (edge-side or
     /// cloud-side per strategy).
-    fn adapt(&mut self, t: f64) {
+    fn adapt(&mut self, t: f64) -> Result<(), SimError> {
         let fresh = std::mem::take(&mut self.pool);
         self.pool_frames = 0;
         match self.config.strategy {
@@ -485,24 +500,26 @@ impl<'a> Engine<'a> {
     }
 
     /// Edge-side adaptive training (Shoggoth / Prompt / fixed rates).
-    fn edge_adapt(&mut self, fresh: &[LabeledSample], t: f64) {
+    fn edge_adapt(&mut self, fresh: &[LabeledSample], t: f64) -> Result<(), SimError> {
         self.trainer
-            .train_session(&mut self.student, fresh, &mut self.rng);
+            .train_session(&mut self.student, fresh, &mut self.rng)?;
         let secs = self.session_wallclock(&self.config.edge_device);
         self.training_until = t + secs;
         self.busy_secs_window += secs;
         self.sessions += 1;
         self.session_secs_sum += secs;
+        Ok(())
     }
 
     /// AMS: the cloud fine-tunes a shadow student and streams the full
     /// model back; edge inference never contends with training.
-    fn ams_adapt(&mut self, fresh: &[LabeledSample]) {
-        let (shadow, shadow_trainer) = self
-            .shadow
-            .as_mut()
-            .expect("AMS runs always construct a shadow student");
-        shadow_trainer.train_session(shadow, fresh, &mut self.rng);
+    fn ams_adapt(&mut self, fresh: &[LabeledSample]) -> Result<(), SimError> {
+        let Some((shadow, shadow_trainer)) = self.shadow.as_mut() else {
+            return Err(SimError::Invariant {
+                context: "AMS runs always construct a shadow student",
+            });
+        };
+        shadow_trainer.train_session(shadow, fresh, &mut self.rng)?;
         let weights = shadow.net().export_weights();
         let arrived = self
             .link
@@ -517,12 +534,16 @@ impl<'a> Engine<'a> {
             self.student
                 .net_mut()
                 .import_weights(&weights)
-                .expect("shadow and edge students share an architecture");
+                .map_err(|source| SimError::Tensor {
+                    context: "AMS model update import",
+                    source,
+                })?;
         }
         self.sessions += 1;
         let secs = self.ams_session_wallclock();
         self.session_secs_sum += secs;
         self.cloud_training_secs += secs;
+        Ok(())
     }
 
     /// Modeled wall-clock of one AMS cloud-side session: full fine-tuning
@@ -531,8 +552,8 @@ impl<'a> Engine<'a> {
     fn ams_session_wallclock(&self) -> f64 {
         let stack = shoggoth_compute::yolov4_resnet18();
         let cfg = &self.config.trainer;
-        let mut plan = TrainingPlan::input_replay(&stack)
-            .with_batch(cfg.batch_frames, cfg.batch_frames * 5);
+        let mut plan =
+            TrainingPlan::input_replay(&stack).with_batch(cfg.batch_frames, cfg.batch_frames * 5);
         plan.trainable_from = 0;
         plan.epochs = cfg.epochs;
         training_time(&stack, &plan, &self.config.cloud_device).total_secs()
@@ -579,9 +600,21 @@ mod tests {
         config
     }
 
+    fn run_ok(config: &SimConfig) -> SimReport {
+        Simulation::run(config).expect("quick config runs cleanly")
+    }
+
+    fn run_with_models_ok(
+        config: &SimConfig,
+        student: StudentDetector,
+        teacher: TeacherDetector,
+    ) -> SimReport {
+        Simulation::run_with_models(config, student, teacher).expect("quick config runs cleanly")
+    }
+
     #[test]
     fn edge_only_uses_no_network() {
-        let report = Simulation::run(&quick_config(Strategy::EdgeOnly, 200));
+        let report = run_ok(&quick_config(Strategy::EdgeOnly, 200));
         assert_eq!(report.uplink_bytes, 0);
         assert_eq!(report.downlink_bytes, 0);
         assert_eq!(report.training_sessions, 0);
@@ -593,10 +626,10 @@ mod tests {
     fn cloud_only_is_bandwidth_hungry_and_accurate() {
         let config = quick_config(Strategy::CloudOnly, 200);
         let (student, teacher) = Simulation::build_models(&config);
-        let cloud = Simulation::run_with_models(&config, student.clone(), teacher.clone());
+        let cloud = run_with_models_ok(&config, student.clone(), teacher.clone());
         let mut edge_cfg = quick_config(Strategy::EdgeOnly, 200);
         edge_cfg.stream = config.stream.clone();
-        let edge = Simulation::run_with_models(&edge_cfg, student, teacher);
+        let edge = run_with_models_ok(&edge_cfg, student, teacher);
         assert!(cloud.uplink_kbps > 50.0 * edge.uplink_kbps.max(1.0));
         assert!(cloud.downlink_kbps > cloud.uplink_kbps * 0.8);
         assert!(cloud.map50 >= edge.map50 - 0.02);
@@ -604,7 +637,7 @@ mod tests {
 
     #[test]
     fn shoggoth_trains_and_bills_bandwidth() {
-        let report = Simulation::run(&quick_config(Strategy::Shoggoth, 900));
+        let report = run_ok(&quick_config(Strategy::Shoggoth, 900));
         assert!(report.training_sessions >= 1, "no sessions in 30 s");
         assert!(report.uplink_bytes > 0);
         assert!(report.downlink_bytes > 0);
@@ -616,10 +649,10 @@ mod tests {
     #[test]
     fn ams_ships_models_downlink() {
         let config = quick_config(Strategy::Ams, 900);
-        let report = Simulation::run(&config);
+        let report = run_ok(&config);
         assert!(report.training_sessions >= 1);
         // Model weights dominate the downlink.
-        let shoggoth = Simulation::run(&quick_config(Strategy::Shoggoth, 900));
+        let shoggoth = run_ok(&quick_config(Strategy::Shoggoth, 900));
         assert!(
             report.downlink_bytes > 3 * shoggoth.downlink_bytes,
             "AMS downlink {} should dwarf Shoggoth's {}",
@@ -634,8 +667,8 @@ mod tests {
     fn simulation_is_deterministic() {
         let config = quick_config(Strategy::Shoggoth, 400);
         let (student, teacher) = Simulation::build_models(&config);
-        let a = Simulation::run_with_models(&config, student.clone(), teacher.clone());
-        let b = Simulation::run_with_models(&config, student, teacher);
+        let a = run_with_models_ok(&config, student.clone(), teacher.clone());
+        let b = run_with_models_ok(&config, student, teacher);
         assert_eq!(a.map50, b.map50);
         assert_eq!(a.uplink_bytes, b.uplink_bytes);
         assert_eq!(a.per_frame_map, b.per_frame_map);
@@ -643,17 +676,17 @@ mod tests {
 
     #[test]
     fn fixed_rate_strategies_never_move_the_rate() {
-        let report = Simulation::run(&quick_config(Strategy::FixedRate(0.4), 600));
+        let report = run_ok(&quick_config(Strategy::FixedRate(0.4), 600));
         assert!((report.final_sampling_rate - 0.4).abs() < 1e-9);
         assert!((report.avg_sampling_rate - 0.4).abs() < 1e-9);
-        let prompt = Simulation::run(&quick_config(Strategy::Prompt, 600));
+        let prompt = run_ok(&quick_config(Strategy::Prompt, 600));
         assert!((prompt.final_sampling_rate - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn higher_fixed_rates_cost_more_uplink() {
-        let slow = Simulation::run(&quick_config(Strategy::FixedRate(0.5), 900));
-        let fast = Simulation::run(&quick_config(Strategy::FixedRate(2.0), 900));
+        let slow = run_ok(&quick_config(Strategy::FixedRate(0.5), 900));
+        let fast = run_ok(&quick_config(Strategy::FixedRate(2.0), 900));
         assert!(
             fast.uplink_bytes > slow.uplink_bytes,
             "fast {} vs slow {}",
@@ -664,11 +697,8 @@ mod tests {
 
     #[test]
     fn per_frame_map_covers_every_frame() {
-        let report = Simulation::run(&quick_config(Strategy::EdgeOnly, 150));
+        let report = run_ok(&quick_config(Strategy::EdgeOnly, 150));
         assert_eq!(report.per_frame_map.len(), 150);
-        assert!(report
-            .per_frame_map
-            .iter()
-            .all(|m| (0.0..=1.0).contains(m)));
+        assert!(report.per_frame_map.iter().all(|m| (0.0..=1.0).contains(m)));
     }
 }

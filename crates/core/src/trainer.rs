@@ -8,6 +8,7 @@
 //! statistics in the (frozen) front keep adapting to the input statistics,
 //! exactly as the paper prescribes.
 
+use crate::error::TrainError;
 use crate::replay::{ReplayItem, ReplayMemory};
 use shoggoth_models::{LabeledSample, StudentDetector};
 use shoggoth_tensor::{losses, Matrix, Mode, SgdConfig};
@@ -47,7 +48,10 @@ pub enum FreezePolicy {
 impl FreezePolicy {
     /// Whether front weights receive gradient after warm-up.
     fn front_trains(&self) -> bool {
-        matches!(self, FreezePolicy::SlowFront { .. } | FreezePolicy::FullyTrainable)
+        matches!(
+            self,
+            FreezePolicy::SlowFront { .. } | FreezePolicy::FullyTrainable
+        )
     }
 
     /// Learning-rate scale for front layers after warm-up.
@@ -144,9 +148,10 @@ pub struct SessionReport {
 /// let fresh: Vec<LabeledSample> = (0..50)
 ///     .map(|i| LabeledSample { features: vec![i as f32 * 0.01; 8], label: i % 3 })
 ///     .collect();
-/// let report = trainer.train_session(&mut student, &fresh, &mut rng);
+/// let report = trainer.train_session(&mut student, &fresh, &mut rng)?;
 /// assert_eq!(report.fresh_samples, 50);
 /// assert!(!trainer.memory().is_empty());
+/// # Ok::<(), shoggoth::error::TrainError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct AdaptiveTrainer {
@@ -195,25 +200,28 @@ impl AdaptiveTrainer {
     ///
     /// Empty `fresh` batches only tick the replay-memory run counter.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if sample feature widths do not match the student network
-    /// (a configuration error, not a runtime condition).
+    /// Returns [`TrainError::Tensor`] when the tensor engine rejects an
+    /// operation — a sample feature width that does not match the student
+    /// network, or (with the `finite-check` feature) a poisoned tensor the
+    /// session produced. The student may have taken some update steps by
+    /// then; callers that need transactional behavior should train a clone.
     pub fn train_session(
         &mut self,
         student: &mut StudentDetector,
         fresh: &[LabeledSample],
         rng: &mut Rng,
-    ) -> SessionReport {
+    ) -> Result<SessionReport, TrainError> {
         if fresh.is_empty() {
             self.memory.integrate(&[], rng);
             self.sessions += 1;
-            return SessionReport {
+            return Ok(SessionReport {
                 fresh_samples: 0,
                 replay_samples_used: 0,
                 mini_batches: 0,
                 mean_loss: 0.0,
-            };
+            });
         }
         let replay_layer = self.resolve_replay_layer(student);
         let (x_fresh, labels_fresh) = LabeledSample::to_batch(fresh);
@@ -248,7 +256,7 @@ impl AdaptiveTrainer {
                 student
                     .net_mut()
                     .forward_range(0..replay_layer, &x_fresh, mode)
-                    .expect("fresh batch width matches the student network"),
+                    .map_err(TrainError::tensor("session-cached front forward pass"))?,
             )
         };
 
@@ -270,8 +278,7 @@ impl AdaptiveTrainer {
                 // Assemble the fresh part of the mini-batch.
                 let fresh_rows: Vec<usize> = chunk.to_vec();
                 let x_rows = x_fresh.select_rows(&fresh_rows);
-                let mut labels: Vec<usize> =
-                    fresh_rows.iter().map(|&i| labels_fresh[i]).collect();
+                let mut labels: Vec<usize> = fresh_rows.iter().map(|&i| labels_fresh[i]).collect();
 
                 // Fresh activations at the replay layer.
                 let fresh_acts = if let Some(cached) = &cached_fresh_acts {
@@ -280,7 +287,7 @@ impl AdaptiveTrainer {
                     student
                         .net_mut()
                         .forward_range(0..replay_layer, &x_rows, Mode::Train)
-                        .expect("fresh rows match the network")
+                        .map_err(TrainError::tensor("front forward pass"))?
                 };
 
                 // Replay part.
@@ -289,14 +296,13 @@ impl AdaptiveTrainer {
                 let acts = if replay_items.is_empty() {
                     fresh_acts.clone()
                 } else {
-                    let mut replay_mat =
-                        Matrix::zeros(replay_items.len(), fresh_acts.cols());
+                    let mut replay_mat = Matrix::zeros(replay_items.len(), fresh_acts.cols());
                     for (r, item) in replay_items.iter().enumerate() {
                         replay_mat.row_mut(r).copy_from_slice(&item.activation);
                         labels.push(item.label);
                     }
                     Matrix::vstack(&[&fresh_acts, &replay_mat])
-                        .expect("activation widths agree")
+                        .map_err(TrainError::tensor("fresh/replay activation stacking"))?
                 };
 
                 // Forward through the tail, loss, backward to the replay
@@ -304,14 +310,14 @@ impl AdaptiveTrainer {
                 let logits = student
                     .net_mut()
                     .forward_range(replay_layer..layer_count, &acts, Mode::Train)
-                    .expect("activations match the tail");
+                    .map_err(TrainError::tensor("tail forward pass"))?;
                 let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels)
-                    .expect("labels are in range");
+                    .map_err(TrainError::tensor("loss evaluation"))?;
                 loss_sum += loss as f64;
                 let grad_at_replay = student
                     .net_mut()
                     .backward_range(replay_layer..layer_count, &grad)
-                    .expect("tail forward was cached");
+                    .map_err(TrainError::tensor("tail backward pass"))?;
 
                 // Backward through the front for the fresh rows when the
                 // front is trainable (or during the warm-up mini-batch).
@@ -323,13 +329,13 @@ impl AdaptiveTrainer {
                         student
                             .net_mut()
                             .forward_range(0..replay_layer, &x_rows, Mode::Train)
-                            .expect("fresh rows match the network");
+                            .map_err(TrainError::tensor("warm-up front forward pass"))?;
                     }
                     let grad_fresh = grad_at_replay.rows_range(0..fresh_rows.len());
                     student
                         .net_mut()
                         .backward_range(0..replay_layer, &grad_fresh)
-                        .expect("front forward was cached");
+                        .map_err(TrainError::tensor("front backward pass"))?;
                 }
 
                 // Per-layer learning-rate scales.
@@ -344,7 +350,7 @@ impl AdaptiveTrainer {
                 student
                     .net_mut()
                     .step_scaled(&sgd, &scales)
-                    .expect("scales match layer count");
+                    .map_err(TrainError::tensor("SGD parameter step"))?;
                 first_mini_batch = false;
                 mini_batches += 1;
             }
@@ -355,7 +361,7 @@ impl AdaptiveTrainer {
         let final_acts = student
             .net_mut()
             .activation_at(replay_layer, &x_fresh)
-            .expect("fresh batch matches the network");
+            .map_err(TrainError::tensor("replay activation capture"))?;
         let items: Vec<ReplayItem> = (0..n)
             .map(|r| ReplayItem {
                 activation: final_acts.row(r).to_vec(),
@@ -366,7 +372,7 @@ impl AdaptiveTrainer {
         self.memory.integrate(&items, rng);
         self.sessions += 1;
 
-        SessionReport {
+        Ok(SessionReport {
             fresh_samples: n,
             replay_samples_used: replay_used,
             mini_batches,
@@ -375,7 +381,7 @@ impl AdaptiveTrainer {
             } else {
                 loss_sum / mini_batches as f64
             },
-        }
+        })
     }
 }
 
@@ -387,8 +393,20 @@ mod tests {
 
     fn library() -> DomainLibrary {
         let mut lib = DomainLibrary::new(WorldConfig::new(3, 16, 30));
-        lib.generate("day", Illumination::Day, Weather::Sunny, 0.0, vec![1.0, 1.0, 1.0]);
-        lib.generate("night", Illumination::Night, Weather::Rainy, 0.9, vec![1.0, 1.0, 1.0]);
+        lib.generate(
+            "day",
+            Illumination::Day,
+            Weather::Sunny,
+            0.0,
+            vec![1.0, 1.0, 1.0],
+        );
+        lib.generate(
+            "night",
+            Illumination::Night,
+            Weather::Rainy,
+            0.9,
+            vec![1.0, 1.0, 1.0],
+        );
         lib
     }
 
@@ -403,7 +421,9 @@ mod tests {
         let mut trainer = AdaptiveTrainer::new(TrainerConfig::quick());
         let mut rng = Rng::seed_from(50);
         let fresh = sample_domain_batch(lib.world(), lib.domain(1), 80, 40, &mut rng);
-        let report = trainer.train_session(&mut student, &fresh, &mut rng);
+        let report = trainer
+            .train_session(&mut student, &fresh, &mut rng)
+            .expect("session trains");
         assert_eq!(report.fresh_samples, 120);
         assert!(report.mini_batches > 0);
         assert_eq!(trainer.sessions(), 1);
@@ -412,7 +432,9 @@ mod tests {
         assert_eq!(report.replay_samples_used, 0);
         // Second session draws replay.
         let fresh2 = sample_domain_batch(lib.world(), lib.domain(1), 80, 40, &mut rng);
-        let report2 = trainer.train_session(&mut student, &fresh2, &mut rng);
+        let report2 = trainer
+            .train_session(&mut student, &fresh2, &mut rng)
+            .expect("session trains");
         assert!(report2.replay_samples_used > 0);
     }
 
@@ -426,7 +448,9 @@ mod tests {
         let before = student.evaluate(&eval);
         for _ in 0..4 {
             let fresh = sample_domain_batch(lib.world(), lib.domain(1), 100, 50, &mut rng);
-            trainer.train_session(&mut student, &fresh, &mut rng);
+            trainer
+                .train_session(&mut student, &fresh, &mut rng)
+                .expect("session trains");
         }
         let after = student.evaluate(&eval);
         // The robust backbone limits the drift drop, and the night domain
@@ -464,12 +488,16 @@ mod tests {
             // Adapt to night.
             for _ in 0..4 {
                 let fresh = sample_domain_batch(lib.world(), lib.domain(1), 100, 50, rng);
-                trainer.train_session(&mut student, &fresh, rng);
+                trainer
+                    .train_session(&mut student, &fresh, rng)
+                    .expect("session trains");
             }
             // The scene returns to day for a long stretch.
             for _ in 0..8 {
                 let fresh = sample_domain_batch(lib.world(), lib.domain(0), 100, 50, rng);
-                trainer.train_session(&mut student, &fresh, rng);
+                trainer
+                    .train_session(&mut student, &fresh, rng)
+                    .expect("session trains");
             }
             student
         };
@@ -494,7 +522,9 @@ mod tests {
         let mut rng = Rng::seed_from(53);
         let before = student.net().export_weights();
         let fresh = sample_domain_batch(lib.world(), lib.domain(1), 60, 30, &mut rng);
-        trainer.train_session(&mut student, &fresh, &mut rng);
+        trainer
+            .train_session(&mut student, &fresh, &mut rng)
+            .expect("session trains");
         let after = student.net().export_weights();
         // The head must have trained...
         assert_ne!(before, after, "head should have trained");
@@ -522,7 +552,9 @@ mod tests {
         assert_eq!(trainer.resolve_replay_layer(&student), 0);
         let mut rng = Rng::seed_from(54);
         let fresh = sample_domain_batch(lib.world(), lib.domain(1), 60, 30, &mut rng);
-        let report = trainer.train_session(&mut student, &fresh, &mut rng);
+        let report = trainer
+            .train_session(&mut student, &fresh, &mut rng)
+            .expect("session trains");
         assert!(report.mini_batches > 0);
         // Memory stores raw features at input placement.
         assert_eq!(trainer.memory().items()[0].activation.len(), 16);
@@ -534,7 +566,9 @@ mod tests {
         let mut student = pretrained_student(&lib);
         let mut trainer = AdaptiveTrainer::new(TrainerConfig::quick());
         let mut rng = Rng::seed_from(55);
-        let report = trainer.train_session(&mut student, &[], &mut rng);
+        let report = trainer
+            .train_session(&mut student, &[], &mut rng)
+            .expect("empty session is fine");
         assert_eq!(report.fresh_samples, 0);
         assert_eq!(trainer.sessions(), 1);
     }
@@ -546,7 +580,9 @@ mod tests {
         let mut trainer = AdaptiveTrainer::new(TrainerConfig::quick());
         let mut rng = Rng::seed_from(56);
         let fresh = sample_domain_batch(lib.world(), lib.domain(1), 40, 20, &mut rng);
-        trainer.train_session(&mut student, &fresh, &mut rng);
+        trainer
+            .train_session(&mut student, &fresh, &mut rng)
+            .expect("session trains");
         // quick() student: hidden widths [32, 24] -> penultimate width 24.
         assert_eq!(trainer.memory().items()[0].activation.len(), 24);
     }

@@ -35,7 +35,10 @@ impl FpsTracker {
     ///
     /// Panics if `fps` is negative or either value is non-finite.
     pub fn record(&mut self, t: f64, fps: f64) {
-        assert!(t.is_finite() && fps.is_finite() && fps >= 0.0, "invalid sample");
+        assert!(
+            t.is_finite() && fps.is_finite() && fps >= 0.0,
+            "invalid sample"
+        );
         self.samples.push((t, fps));
     }
 

@@ -73,7 +73,7 @@ pub fn average_precision(frames: &[FrameEval], class: usize, iou: f32) -> Option
     if total_gt == 0 {
         return None;
     }
-    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite confidence"));
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0));
 
     // Cumulative precision/recall down the ranked list.
     let mut tp = 0usize;

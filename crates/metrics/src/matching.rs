@@ -53,8 +53,7 @@ pub fn match_detections(
     order.sort_by(|&a, &b| {
         detections[b]
             .confidence
-            .partial_cmp(&detections[a].confidence)
-            .expect("confidences are finite")
+            .total_cmp(&detections[a].confidence)
     });
     let mut gt_taken = vec![false; ground_truth.len()];
     let mut assignments = vec![None; detections.len()];
@@ -136,11 +135,7 @@ mod tests {
     fn each_ground_truth_matched_at_most_once() {
         // Two detections on the same object: higher-confidence one wins,
         // the other is a false positive.
-        let r = match_detections(
-            &[det(0, 0.1, 0.5), det(0, 0.11, 0.9)],
-            &[gt(0, 0.1)],
-            0.5,
-        );
+        let r = match_detections(&[det(0, 0.1, 0.5), det(0, 0.11, 0.9)], &[gt(0, 0.1)], 0.5);
         assert_eq!(r.true_positives, 1);
         assert_eq!(r.false_positives, 1);
         // The high-confidence detection (index 1) got the match.
@@ -150,11 +145,7 @@ mod tests {
 
     #[test]
     fn detection_prefers_highest_iou_ground_truth() {
-        let r = match_detections(
-            &[det(0, 0.12, 0.9)],
-            &[gt(0, 0.4), gt(0, 0.1)],
-            0.3,
-        );
+        let r = match_detections(&[det(0, 0.12, 0.9)], &[gt(0, 0.4), gt(0, 0.1)], 0.3);
         let (gt_idx, _) = r.assignments[0].expect("matched");
         assert_eq!(gt_idx, 1);
         assert_eq!(r.false_negatives, 1);

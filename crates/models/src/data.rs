@@ -1,7 +1,7 @@
 //! Training-sample synthesis and the paper's pseudo-labeling rule.
 
-use crate::detector::Detector;
 use crate::background_class;
+use crate::detector::Detector;
 use shoggoth_tensor::Matrix;
 use shoggoth_util::Rng;
 use shoggoth_video::{Domain, FeatureWorld, Frame};
@@ -114,7 +114,13 @@ mod tests {
 
     fn library() -> DomainLibrary {
         let mut lib = DomainLibrary::new(WorldConfig::new(3, 8, 2));
-        lib.generate("day", Illumination::Day, Weather::Sunny, 0.0, vec![1.0, 1.0, 1.0]);
+        lib.generate(
+            "day",
+            Illumination::Day,
+            Weather::Sunny,
+            0.0,
+            vec![1.0, 1.0, 1.0],
+        );
         lib
     }
 

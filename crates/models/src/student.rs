@@ -1,8 +1,8 @@
 //! The lightweight edge detector (YOLOv4-ResNet18 stand-in).
 
+use crate::background_class;
 use crate::data::{sample_domain_batch, LabeledSample};
 use crate::detector::{features_matrix, Detection, Detector};
-use crate::background_class;
 use shoggoth_tensor::{losses, BatchRenorm, Dense, Matrix, Mlp, Mode, Relu, SgdConfig};
 use shoggoth_util::Rng;
 use shoggoth_video::{ClassId, DomainLibrary, Frame};
@@ -113,7 +113,10 @@ impl StudentDetector {
     ///
     /// Panics if `widths` is empty.
     pub fn new(config: StudentConfig) -> Self {
-        assert!(!config.widths.is_empty(), "student needs at least one hidden block");
+        assert!(
+            !config.widths.is_empty(),
+            "student needs at least one hidden block"
+        );
         let mut rng = Rng::seed_from(config.seed ^ 0x5354_5544); // "STUD"
         let mut layers: Vec<Box<dyn shoggoth_tensor::Layer>> = Vec::new();
         // Input normalization: real detectors standardize inputs and carry
@@ -222,13 +225,7 @@ impl StudentDetector {
                 };
                 let severity = rng.range_f64(0.2, 0.9) as f32;
                 let mix = vec![1.0; library.world().num_classes()];
-                let domain = aux.generate(
-                    &format!("aux-{i}"),
-                    illum,
-                    weather,
-                    severity,
-                    mix,
-                );
+                let domain = aux.generate(&format!("aux-{i}"), illum, weather, severity, mix);
                 corpus.extend(sample_domain_batch(
                     library.world(),
                     &domain,
@@ -254,7 +251,11 @@ impl StudentDetector {
             self.config.pretrain_background,
             &mut rng,
         );
-        let front_scale = if self.config.backbone_domains > 0 { 0.0 } else { 1.0 };
+        let front_scale = if self.config.backbone_domains > 0 {
+            0.0
+        } else {
+            1.0
+        };
         self.fit_scaled(
             &samples,
             self.config.pretrain_epochs,
@@ -282,6 +283,11 @@ impl StudentDetector {
     /// Supervised fitting with a reduced learning rate on the layers
     /// before the default replay layer (`front_scale = 0` trains the head
     /// only, `1.0` trains everything).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample feature width disagrees with the network
+    /// input — a shape pinned by the constructor.
     pub fn fit_scaled(
         &mut self,
         samples: &[LabeledSample],
@@ -294,7 +300,9 @@ impl StudentDetector {
         if samples.is_empty() {
             return;
         }
-        let sgd = SgdConfig::new(lr).with_momentum(0.9).with_weight_decay(1e-4);
+        let sgd = SgdConfig::new(lr)
+            .with_momentum(0.9)
+            .with_weight_decay(1e-4);
         let boundary = self.default_replay_layer;
         let scales: Vec<f32> = (0..self.net.len())
             .map(|i| if i < boundary { front_scale } else { 1.0 })
@@ -310,8 +318,8 @@ impl StudentDetector {
                     .net
                     .forward(&x, Mode::Train)
                     .expect("pretrain batch shape is valid");
-                let (_, grad) = losses::softmax_cross_entropy(&logits, &labels)
-                    .expect("label shapes match");
+                let (_, grad) =
+                    losses::softmax_cross_entropy(&logits, &labels).expect("label shapes match");
                 self.net.backward(&grad).expect("forward cached");
                 self.net
                     .step_scaled(&sgd, &scales)
@@ -321,6 +329,11 @@ impl StudentDetector {
     }
 
     /// Classification accuracy over labeled samples (eval mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample feature width disagrees with the network
+    /// input — a shape pinned by the constructor.
     pub fn evaluate(&mut self, samples: &[LabeledSample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
@@ -408,7 +421,7 @@ impl Detector for StudentDetector {
                 let (class, &p) = row
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("softmax is finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .expect("non-empty row");
                 (class, p)
             })
@@ -423,10 +436,22 @@ mod tests {
 
     fn library() -> DomainLibrary {
         let mut lib = DomainLibrary::new(WorldConfig::new(3, 16, 4));
-        lib.generate("day", Illumination::Day, Weather::Sunny, 0.0, vec![1.0, 1.0, 1.0]);
+        lib.generate(
+            "day",
+            Illumination::Day,
+            Weather::Sunny,
+            0.0,
+            vec![1.0, 1.0, 1.0],
+        );
         // A heavy but low-noise drift: recoverable by adaptation (the
         // noise-limited night ceiling would mask recovery).
-        lib.generate("night", Illumination::Dusk, Weather::Cloudy, 0.9, vec![1.0, 1.0, 1.0]);
+        lib.generate(
+            "night",
+            Illumination::Dusk,
+            Weather::Cloudy,
+            0.9,
+            vec![1.0, 1.0, 1.0],
+        );
         lib
     }
 

@@ -1,8 +1,8 @@
 //! The cloud "golden" teacher (Mask-R-CNN ResNeXt-101 stand-in).
 
+use crate::background_class;
 use crate::data::{sample_domain_batch, LabeledSample};
 use crate::detector::{features_matrix, Detection, Detector};
-use crate::background_class;
 use shoggoth_tensor::{losses, Dense, Matrix, Mlp, Mode, Relu, SgdConfig};
 use shoggoth_util::Rng;
 use shoggoth_video::{ClassId, DomainLibrary, Frame};
@@ -86,7 +86,10 @@ impl TeacherDetector {
     ///
     /// Panics if `widths` is empty.
     pub fn new(config: TeacherConfig) -> Self {
-        assert!(!config.widths.is_empty(), "teacher needs at least one hidden layer");
+        assert!(
+            !config.widths.is_empty(),
+            "teacher needs at least one hidden layer"
+        );
         let mut rng = Rng::seed_from(config.seed ^ 0x5445_4143_4845); // "TEACHE"
         let mut layers: Vec<Box<dyn shoggoth_tensor::Layer>> = Vec::new();
         let mut in_dim = config.feature_dim;
@@ -141,6 +144,11 @@ impl TeacherDetector {
     }
 
     /// Pre-trains on samples pooled from every domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library's feature width disagrees with the network
+    /// input — a shape pinned by the constructor.
     pub fn pretrain(&mut self, library: &DomainLibrary) {
         let mut rng = Rng::seed_from(self.config.seed ^ 0x474f_4c44); // "GOLD"
         let mut samples: Vec<LabeledSample> = Vec::new();
@@ -167,15 +175,20 @@ impl TeacherDetector {
                     .net
                     .forward(&x, Mode::Train)
                     .expect("batch shape is valid");
-                let (_, grad) = losses::softmax_cross_entropy(&logits, &labels)
-                    .expect("label shapes match");
+                let (_, grad) =
+                    losses::softmax_cross_entropy(&logits, &labels).expect("label shapes match");
                 self.net.backward(&grad).expect("forward cached");
-                self.net.step(&sgd);
+                self.net.step(&sgd).expect("finite params");
             }
         }
     }
 
     /// Classification accuracy over labeled samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample feature width disagrees with the network
+    /// input — a shape pinned by the constructor.
     pub fn evaluate(&mut self, samples: &[LabeledSample]) -> f64 {
         if samples.is_empty() {
             return 0.0;
@@ -236,7 +249,7 @@ impl Detector for TeacherDetector {
                 let (class, &p) = row
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("softmax is finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .expect("non-empty row");
                 (class, p)
             })
@@ -252,9 +265,27 @@ mod tests {
 
     fn library() -> DomainLibrary {
         let mut lib = DomainLibrary::new(WorldConfig::new(3, 16, 8));
-        lib.generate("day", Illumination::Day, Weather::Sunny, 0.0, vec![1.0, 1.0, 1.0]);
-        lib.generate("dusk", Illumination::Dusk, Weather::Cloudy, 0.5, vec![1.0, 1.0, 1.0]);
-        lib.generate("night", Illumination::Night, Weather::Rainy, 0.9, vec![1.0, 1.0, 1.0]);
+        lib.generate(
+            "day",
+            Illumination::Day,
+            Weather::Sunny,
+            0.0,
+            vec![1.0, 1.0, 1.0],
+        );
+        lib.generate(
+            "dusk",
+            Illumination::Dusk,
+            Weather::Cloudy,
+            0.5,
+            vec![1.0, 1.0, 1.0],
+        );
+        lib.generate(
+            "night",
+            Illumination::Night,
+            Weather::Rainy,
+            0.9,
+            vec![1.0, 1.0, 1.0],
+        );
         lib
     }
 
@@ -290,7 +321,6 @@ mod tests {
 
     #[test]
     fn teacher_is_larger_than_student() {
-        let lib = library();
         let teacher = TeacherDetector::new(TeacherConfig::new(16, 3, 3));
         let student = StudentDetector::new(StudentConfig::new(16, 3, 3));
         assert!(teacher.weight_bytes() > 2 * student.weight_bytes());
@@ -299,8 +329,7 @@ mod tests {
     #[test]
     fn pretraining_is_deterministic() {
         let lib = library();
-        let build =
-            || TeacherDetector::pretrained_with(TeacherConfig::new(16, 3, 7).quick(), &lib);
+        let build = || TeacherDetector::pretrained_with(TeacherConfig::new(16, 3, 7).quick(), &lib);
         let a = build().net.export_weights();
         let b = build().net.export_weights();
         assert_eq!(a, b);

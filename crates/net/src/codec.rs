@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn single_frame_is_intra_coded() {
         let c = Codec::h264_like();
-        assert_eq!(c.encode_single(786_432), c.encode_group(&frames(1, 0.0), 1.0));
+        assert_eq!(
+            c.encode_single(786_432),
+            c.encode_group(&frames(1, 0.0), 1.0)
+        );
     }
 
     #[test]

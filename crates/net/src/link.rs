@@ -130,7 +130,8 @@ impl Link {
     }
 
     fn transfer_secs(&self, bytes: u64, capacity_kbps: f64) -> f64 {
-        self.config.base_latency_secs + bytes as f64 * 8.0 / (capacity_kbps * 1000.0)
+        let payload_secs = bytes as f64 * 8.0 / (capacity_kbps * 1000.0);
+        self.config.base_latency_secs + payload_secs
     }
 
     /// Total bytes transmitted edge → cloud.

@@ -171,11 +171,12 @@ impl Dense {
     ///
     /// Panics if either dimension is zero.
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut shoggoth_util::Rng) -> Self {
-        assert!(in_dim > 0 && out_dim > 0, "Dense dimensions must be positive");
+        assert!(
+            in_dim > 0 && out_dim > 0,
+            "Dense dimensions must be positive"
+        );
         let scale = (2.0 / in_dim as f64).sqrt();
-        let weights = Matrix::from_fn(in_dim, out_dim, |_, _| {
-            rng.next_gaussian(0.0, scale) as f32
-        });
+        let weights = Matrix::from_fn(in_dim, out_dim, |_, _| rng.next_gaussian(0.0, scale) as f32);
         Self {
             grad_weights: Matrix::zeros(in_dim, out_dim),
             grad_bias: Matrix::zeros(1, out_dim),
@@ -247,7 +248,7 @@ impl Layer for Dense {
 
     fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
         let lr = cfg.learning_rate * lr_scale;
-        if lr == 0.0 {
+        if shoggoth_util::float::is_exact_zero(lr) {
             return;
         }
         update_with_momentum(

@@ -19,6 +19,19 @@
 //! Every layer's gradients are verified against finite differences in the
 //! test suite.
 //!
+//! # The `finite-check` feature
+//!
+//! Long-running online learning (the paper's whole premise) can be
+//! silently invalidated by one NaN gradient: the student keeps "training",
+//! every subsequent mAP figure is garbage, and nothing crashes. With the
+//! `finite-check` cargo feature enabled, the engine validates tensors
+//! after every layer forward/backward pass, loss evaluation, and SGD
+//! parameter step, and returns [`TensorError::NonFinite`] naming the
+//! producing operation the moment the first NaN/Inf appears. The checks
+//! cost one pass over each tensor and are compiled out entirely without
+//! the feature. [`Matrix::ensure_finite`] is always available for manual
+//! validation at API boundaries.
+//!
 //! # Examples
 //!
 //! Train a tiny classifier on XOR:
@@ -40,7 +53,7 @@
 //!     let logits = net.forward(&x, Mode::Train)?;
 //!     let (_, grad) = losses::softmax_cross_entropy(&logits, &labels)?;
 //!     net.backward(&grad)?;
-//!     net.step(&sgd);
+//!     net.step(&sgd)?;
 //! }
 //! let logits = net.forward(&x, Mode::Eval)?;
 //! assert_eq!(logits.row_argmax(), vec![0, 1, 1, 0]);
@@ -61,7 +74,7 @@ pub use norm::{BatchNorm, BatchRenorm};
 pub use sgd::SgdConfig;
 
 /// Errors produced by tensor operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum TensorError {
     /// Two shapes that had to agree did not.
@@ -85,6 +98,24 @@ pub enum TensorError {
         /// The layer that had no cache.
         layer: &'static str,
     },
+    /// A tensor contains NaN or ±Inf — the training state is poisoned.
+    ///
+    /// Produced by [`Matrix::ensure_finite`] and, when the `finite-check`
+    /// feature is enabled, by the sanitizer hooks after every layer
+    /// forward/backward, loss evaluation, and SGD step. The `op` names the
+    /// operation that *produced* the poisoned values, so a NaN gradient is
+    /// caught at its source instead of surfacing frames later as a
+    /// silently degraded mAP.
+    NonFinite {
+        /// The operation whose output first went non-finite.
+        op: &'static str,
+        /// Row of the first offending element.
+        row: usize,
+        /// Column of the first offending element.
+        col: usize,
+        /// The offending value (NaN or ±Inf).
+        value: f32,
+    },
 }
 
 impl std::fmt::Display for TensorError {
@@ -100,11 +131,26 @@ impl std::fmt::Display for TensorError {
                 expected.0, expected.1, actual.0, actual.1
             ),
             TensorError::ParamCount { expected, actual } => {
-                write!(f, "parameter count mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "parameter count mismatch: expected {expected}, got {actual}"
+                )
             }
             TensorError::MissingForwardCache { layer } => {
-                write!(f, "backward called on {layer} without a cached forward pass")
+                write!(
+                    f,
+                    "backward called on {layer} without a cached forward pass"
+                )
             }
+            TensorError::NonFinite {
+                op,
+                row,
+                col,
+                value,
+            } => write!(
+                f,
+                "poisoned tensor: {op} produced non-finite value {value} at ({row}, {col})"
+            ),
         }
     }
 }
@@ -122,7 +168,10 @@ mod tests {
             expected: (2, 3),
             actual: (4, 5),
         };
-        assert_eq!(err.to_string(), "shape mismatch in test: expected 2x3, got 4x5");
+        assert_eq!(
+            err.to_string(),
+            "shape mismatch in test: expected 2x3, got 4x5"
+        );
         let err = TensorError::ParamCount {
             expected: 10,
             actual: 9,

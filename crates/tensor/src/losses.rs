@@ -77,7 +77,21 @@ pub fn softmax_cross_entropy(
         loss -= p.ln();
         grad.set(r, label, grad.get(r, label) - 1.0);
     }
-    Ok((loss / n, grad.scaled(1.0 / n)))
+    let loss = loss / n;
+    let grad = grad.scaled(1.0 / n);
+    #[cfg(feature = "finite-check")]
+    {
+        if !loss.is_finite() {
+            return Err(TensorError::NonFinite {
+                op: "losses::softmax_cross_entropy",
+                row: 0,
+                col: 0,
+                value: loss,
+            });
+        }
+        grad.ensure_finite("losses::softmax_cross_entropy")?;
+    }
+    Ok((loss, grad))
 }
 
 /// Mean squared error `mean((pred − target)²)` with gradient w.r.t. `pred`.
@@ -90,6 +104,18 @@ pub fn mse(pred: &Matrix, target: &Matrix) -> Result<(f32, Matrix), TensorError>
     let n = (pred.rows() * pred.cols()).max(1) as f32;
     let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
     let grad = diff.scaled(2.0 / n);
+    #[cfg(feature = "finite-check")]
+    {
+        if !loss.is_finite() {
+            return Err(TensorError::NonFinite {
+                op: "losses::mse",
+                row: 0,
+                col: 0,
+                value: loss,
+            });
+        }
+        grad.ensure_finite("losses::mse")?;
+    }
     Ok((loss, grad))
 }
 

@@ -201,7 +201,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
+                if shoggoth_util::float::is_exact_zero(a) {
                     continue;
                 }
                 let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
@@ -211,6 +211,8 @@ impl Matrix {
                 }
             }
         }
+        #[cfg(feature = "finite-check")]
+        out.ensure_finite("Matrix::matmul")?;
         Ok(out)
     }
 
@@ -403,14 +405,50 @@ impl Matrix {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }
 
-    /// Index of the maximum value in each row.
+    /// Validates that every element is finite (no NaN, no ±Inf).
+    ///
+    /// `op` names the operation that produced this matrix; it is embedded
+    /// in the error so a poisoned tensor is traceable to its source. This
+    /// is the manual entry point of the `finite-check` sanitizer — with
+    /// that feature enabled the training engine calls it automatically
+    /// after every layer pass, loss, and SGD step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::NonFinite`] locating the first offending
+    /// element.
+    pub fn ensure_finite(&self, op: &'static str) -> Result<(), TensorError> {
+        match self.data.iter().position(|v| !v.is_finite()) {
+            None => Ok(()),
+            Some(i) => {
+                // A zero-column matrix holds no data, so `i` implies
+                // `cols > 0` and the checked ops cannot fail.
+                let row = i.checked_div(self.cols).unwrap_or(0);
+                let col = i.checked_rem(self.cols).unwrap_or(0);
+                Err(TensorError::NonFinite {
+                    op,
+                    row,
+                    col,
+                    value: self.data[i],
+                })
+            }
+        }
+    }
+
+    /// Index of the maximum value in each row. `NaN` ranks highest under
+    /// the `total_cmp` order, so poisoned rows resolve deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a matrix with rows but zero columns — an argmax over an
+    /// empty row is a shape bug at the call site.
     pub fn row_argmax(&self) -> Vec<usize> {
         (0..self.rows)
             .map(|r| {
                 let row = self.row(r);
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN in argmax"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .expect("rows are non-empty")
             })

@@ -94,6 +94,8 @@ impl Mlp {
         let mut x = input.clone();
         for layer in &mut self.layers[range] {
             x = layer.forward(&x, mode)?;
+            #[cfg(feature = "finite-check")]
+            x.ensure_finite(layer.name())?;
         }
         Ok(x)
     }
@@ -154,16 +156,26 @@ impl Mlp {
         let mut g = grad_output.clone();
         for layer in self.layers[range].iter_mut().rev() {
             g = layer.backward(&g)?;
+            #[cfg(feature = "finite-check")]
+            g.ensure_finite(layer.name())?;
         }
         Ok(g)
     }
 
     /// Applies accumulated gradients to every layer with a uniform learning
     /// rate.
-    pub fn step(&mut self, cfg: &SgdConfig) {
+    ///
+    /// # Errors
+    ///
+    /// With the `finite-check` feature enabled, returns
+    /// [`TensorError::NonFinite`] if any parameter went non-finite during
+    /// the update (e.g. a NaN gradient poisoned the weights); infallible
+    /// otherwise.
+    pub fn step(&mut self, cfg: &SgdConfig) -> Result<(), TensorError> {
         for layer in &mut self.layers {
             layer.apply_update(cfg, 1.0);
         }
+        self.ensure_params_finite()
     }
 
     /// Applies accumulated gradients with a per-layer learning-rate scale
@@ -184,6 +196,34 @@ impl Mlp {
         for (layer, &scale) in self.layers.iter_mut().zip(scales) {
             layer.apply_update(cfg, scale);
         }
+        self.ensure_params_finite()
+    }
+
+    /// Post-step parameter validation for the `finite-check` sanitizer.
+    /// Compiled to a no-op without the feature.
+    #[cfg(feature = "finite-check")]
+    fn ensure_params_finite(&self) -> Result<(), TensorError> {
+        let mut buf = Vec::new();
+        for layer in &self.layers {
+            buf.clear();
+            layer.export_params(&mut buf);
+            if let Some(i) = buf.iter().position(|v| !v.is_finite()) {
+                // Parameters are a flat buffer, so the flat index goes in
+                // `col` with `row` pinned to zero.
+                return Err(TensorError::NonFinite {
+                    op: layer.name(),
+                    row: 0,
+                    col: i,
+                    value: buf[i],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(not(feature = "finite-check"))]
+    #[allow(clippy::unnecessary_wraps)]
+    fn ensure_params_finite(&self) -> Result<(), TensorError> {
         Ok(())
     }
 
@@ -279,7 +319,7 @@ mod tests {
             let logits = net.forward(&x, Mode::Train).expect("shapes");
             let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
             net.backward(&grad).expect("cached");
-            net.step(&sgd);
+            net.step(&sgd).expect("finite params");
             loss
         };
         let mut last = initial;
@@ -287,7 +327,7 @@ mod tests {
             let logits = net.forward(&x, Mode::Train).expect("shapes");
             let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
             net.backward(&grad).expect("cached");
-            net.step(&sgd);
+            net.step(&sgd).expect("finite params");
             last = loss;
         }
         assert!(
@@ -357,7 +397,7 @@ mod tests {
         let logits = net.forward(&x, Mode::Train).expect("shapes");
         let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
         net.backward(&grad).expect("cached");
-        net.step(&sgd);
+        net.step(&sgd).expect("finite params");
         // The clone must be unaffected by training the original.
         assert_ne!(net.export_weights(), copy.export_weights());
         let _ = copy.forward(&x, Mode::Eval).expect("clone still works");
@@ -392,13 +432,16 @@ mod tests {
             let logits = net.forward(&x, Mode::Train).expect("shapes");
             let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
             net.backward(&grad).expect("cached");
-            net.step(&sgd);
+            net.step(&sgd).expect("finite params");
             if step >= 350 {
                 let eval = net.forward(&x, Mode::Eval).expect("shapes");
                 final_acc += losses::accuracy(&eval, &labels);
             }
         }
         final_acc /= 50.0;
-        assert!(final_acc > 0.9, "BRN small-batch training accuracy {final_acc}");
+        assert!(
+            final_acc > 0.9,
+            "BRN small-batch training accuracy {final_acc}"
+        );
     }
 }

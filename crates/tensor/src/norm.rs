@@ -147,15 +147,21 @@ impl NormCore {
         let xhat = self
             .cached_xhat
             .take()
-            .ok_or(TensorError::MissingForwardCache { layer: "batch-norm" })?;
+            .ok_or(TensorError::MissingForwardCache {
+                layer: "batch-norm",
+            })?;
         let centered = self
             .cached_centered
             .take()
-            .ok_or(TensorError::MissingForwardCache { layer: "batch-norm" })?;
+            .ok_or(TensorError::MissingForwardCache {
+                layer: "batch-norm",
+            })?;
         let scale = self
             .cached_scale
             .take()
-            .ok_or(TensorError::MissingForwardCache { layer: "batch-norm" })?;
+            .ok_or(TensorError::MissingForwardCache {
+                layer: "batch-norm",
+            })?;
         if grad_output.rows() != xhat.rows() || grad_output.cols() != self.dim {
             return Err(TensorError::ShapeMismatch {
                 context: "NormCore::backward",
@@ -183,13 +189,13 @@ impl NormCore {
         // *uncorrected* normalized value `centered/σ_B`. We recompute σ_B
         // from the centered cache, which is exact.
         let mut sigma = vec![0.0f32; self.dim];
-        for c in 0..self.dim {
+        for (c, s) in sigma.iter_mut().enumerate() {
             let mut v = 0.0;
             for r in 0..centered.rows() {
                 let d = centered.get(r, c);
                 v += d * d;
             }
-            sigma[c] = (v / n + EPS).sqrt();
+            *s = (v / n + EPS).sqrt();
         }
 
         let mut grad_in = Matrix::zeros(xhat.rows(), self.dim);
@@ -217,7 +223,7 @@ impl NormCore {
 
     fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
         let lr = cfg.learning_rate * lr_scale;
-        if lr == 0.0 {
+        if shoggoth_util::float::is_exact_zero(lr) {
             return;
         }
         for (params, grads, vel) in [

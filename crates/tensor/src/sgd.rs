@@ -85,7 +85,9 @@ mod tests {
 
     #[test]
     fn builder_chains() {
-        let sgd = SgdConfig::new(0.1).with_momentum(0.9).with_weight_decay(0.001);
+        let sgd = SgdConfig::new(0.1)
+            .with_momentum(0.9)
+            .with_weight_decay(0.001);
         assert_eq!(sgd.momentum, 0.9);
         assert_eq!(sgd.weight_decay, 0.001);
     }

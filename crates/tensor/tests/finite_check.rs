@@ -1,0 +1,87 @@
+//! Integration tests for the `finite-check` sanitizer.
+//!
+//! Run with `cargo test -p shoggoth-tensor --features finite-check`. The
+//! whole file is compiled out without the feature, because the sanitizer
+//! hooks it exercises do not exist then.
+#![cfg(feature = "finite-check")]
+
+use shoggoth_tensor::{losses, Dense, Matrix, Mlp, Mode, Relu, SgdConfig, TensorError};
+use shoggoth_util::Rng;
+
+fn tiny_net(rng: &mut Rng) -> Mlp {
+    Mlp::new(vec![
+        Box::new(Dense::new(3, 8, rng)),
+        Box::new(Relu::new()),
+        Box::new(Dense::new(8, 2, rng)),
+    ])
+}
+
+#[test]
+fn nan_input_is_caught_at_the_producing_layer() {
+    let mut rng = Rng::seed_from(11);
+    let mut net = tiny_net(&mut rng);
+    let mut x = Matrix::zeros(2, 3);
+    x.set(1, 2, f32::NAN);
+    // The NaN enters through the first Dense matmul, so the first layer is
+    // named as the producer — not some layer three steps downstream.
+    let err = net.forward(&x, Mode::Eval).expect_err("NaN must be caught");
+    match err {
+        TensorError::NonFinite { op, value, .. } => {
+            assert_eq!(op, "Matrix::matmul");
+            assert!(value.is_nan());
+        }
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+}
+
+#[test]
+fn injected_nan_loss_yields_named_poisoned_tensor_error() {
+    // The acceptance scenario: poison the logits so the loss gradient goes
+    // non-finite, and observe the typed error instead of a panic or a
+    // silently corrupted training run.
+    let logits = Matrix::from_rows(&[&[f32::NAN, 0.0]]).expect("valid shape");
+    let err = losses::softmax_cross_entropy(&logits, &[0]).expect_err("NaN loss must be caught");
+    match err {
+        TensorError::NonFinite { op, .. } => {
+            assert_eq!(op, "losses::softmax_cross_entropy");
+            let msg = err.to_string();
+            assert!(
+                msg.contains("poisoned tensor") && msg.contains("softmax_cross_entropy"),
+                "diagnostic must name the producing op: {msg}"
+            );
+        }
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_weights_are_caught_by_the_sgd_step() {
+    let mut rng = Rng::seed_from(12);
+    let mut net = tiny_net(&mut rng);
+    let mut weights = net.export_weights();
+    weights[0] = f32::INFINITY;
+    net.import_weights(&weights).expect("length matches");
+    let err = net
+        .step(&SgdConfig::new(0.1))
+        .expect_err("Inf weight must be caught");
+    assert!(
+        matches!(err, TensorError::NonFinite { op: "dense", .. }),
+        "step must name the poisoned layer: {err:?}"
+    );
+}
+
+#[test]
+fn clean_training_loop_is_unaffected() {
+    let mut rng = Rng::seed_from(13);
+    let mut net = tiny_net(&mut rng);
+    let x = Matrix::from_fn(8, 3, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+    let labels: Vec<usize> = (0..8).map(|i| i % 2).collect();
+    let sgd = SgdConfig::new(0.05);
+    for _ in 0..20 {
+        let logits = net.forward(&x, Mode::Train).expect("finite");
+        let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("finite");
+        assert!(loss.is_finite());
+        net.backward(&grad).expect("finite");
+        net.step(&sgd).expect("finite");
+    }
+}

@@ -19,6 +19,7 @@
 //! ```
 
 pub mod ewma;
+pub mod float;
 pub mod ring;
 pub mod rng;
 pub mod stats;

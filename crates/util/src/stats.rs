@@ -47,7 +47,7 @@ pub fn percentile(values: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
@@ -89,7 +89,7 @@ impl EmpiricalCdf {
     /// Builds the CDF from a sample. NaN values are dropped.
     pub fn new(values: &[f64]) -> Self {
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs were filtered"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self { sorted }
     }
 
@@ -127,8 +127,10 @@ impl EmpiricalCdf {
             return Vec::new();
         }
         let lo = self.sorted[0];
-        let hi = *self.sorted.last().expect("non-empty");
-        if n == 1 || hi == lo {
+        let hi = self.sorted[self.sorted.len() - 1];
+        // `sorted` guarantees hi >= lo, so `<=` is equality: a degenerate
+        // range collapses to a single plot point.
+        if n == 1 || hi <= lo {
             return vec![(hi, 1.0)];
         }
         (0..n)

@@ -231,7 +231,13 @@ mod tests {
     fn base() -> StreamBuilder {
         StreamBuilder::new("test", WorldConfig::new(2, 8, 1))
             .domain("a", Illumination::Day, Weather::Sunny, 0.0, vec![1.0, 1.0])
-            .domain("b", Illumination::Night, Weather::Rainy, 0.8, vec![1.0, 0.5])
+            .domain(
+                "b",
+                Illumination::Night,
+                Weather::Rainy,
+                0.8,
+                vec![1.0, 0.5],
+            )
     }
 
     #[test]
@@ -251,10 +257,7 @@ mod tests {
     #[test]
     fn unknown_domain_is_rejected() {
         let err = base().scene("zzz", 10).build().expect_err("must fail");
-        assert_eq!(
-            err,
-            BuildStreamError::UnknownDomain { name: "zzz".into() }
-        );
+        assert_eq!(err, BuildStreamError::UnknownDomain { name: "zzz".into() });
         assert!(err.to_string().contains("zzz"));
     }
 
@@ -270,7 +273,10 @@ mod tests {
 
     #[test]
     fn empty_scenario_is_rejected() {
-        assert_eq!(base().build().expect_err("must fail"), BuildStreamError::NoScenes);
+        assert_eq!(
+            base().build().expect_err("must fail"),
+            BuildStreamError::NoScenes
+        );
     }
 
     #[test]

@@ -180,16 +180,15 @@ impl Domain {
             .class_shift
             .iter()
             .zip(&other.class_shift)
-            .map(|(sa, sb)| {
-                sa.iter()
-                    .zip(sb)
-                    .map(|(a, b)| a + (b - a) * t)
-                    .collect()
-            })
+            .map(|(sa, sb)| sa.iter().zip(sb).map(|(a, b)| a + (b - a) * t).collect())
             .collect();
         Domain {
             name: format!("{}->{}", self.name, other.name),
-            illumination: if t < 0.5 { self.illumination } else { other.illumination },
+            illumination: if t < 0.5 {
+                self.illumination
+            } else {
+                other.illumination
+            },
             weather: if t < 0.5 { self.weather } else { other.weather },
             class_mix,
             severity: self.severity + (other.severity - self.severity) * t,
@@ -298,7 +297,10 @@ impl DomainLibrary {
             self.world.num_classes(),
             "class mix length must equal class count"
         );
-        assert!((0.0..=1.0).contains(&severity), "severity must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&severity),
+            "severity must be in [0, 1]"
+        );
         let dim = self.world.feature_dim();
         // Real-world appearance drift (illumination, weather) is dominated
         // by shift and contrast changes of low-level statistics — the kind
@@ -312,8 +314,7 @@ impl DomainLibrary {
                 let identity = if r == c { 1.0 } else { 0.0 };
                 // Off-diagonal mixing scaled down by dimension so the
                 // transform stays well-conditioned.
-                let perturb =
-                    self.rng.next_gaussian_f32(0.0, 1.0) / (dim as f32).sqrt();
+                let perturb = self.rng.next_gaussian_f32(0.0, 1.0) / (dim as f32).sqrt();
                 mix[r * dim + c] = identity + severity * 0.3 * perturb;
             }
         }
@@ -380,7 +381,10 @@ mod tests {
         let appearance = day.object_appearance(lib.world(), 2, &jitter);
         let proto = lib.world().prototype(2);
         for (a, p) in appearance.iter().zip(proto) {
-            assert!((a - p).abs() < 1e-5, "identity domain must preserve prototypes");
+            assert!(
+                (a - p).abs() < 1e-5,
+                "identity domain must preserve prototypes"
+            );
         }
     }
 
@@ -388,7 +392,13 @@ mod tests {
     fn severe_domain_moves_features() {
         let mut lib = library();
         let day = lib.generate("day", Illumination::Day, Weather::Sunny, 0.0, vec![1.0; 4]);
-        let night = lib.generate("night", Illumination::Night, Weather::Rainy, 0.8, vec![1.0; 4]);
+        let night = lib.generate(
+            "night",
+            Illumination::Night,
+            Weather::Rainy,
+            0.8,
+            vec![1.0; 4],
+        );
         let jitter = vec![0.0f32; 16];
         let a = day.object_appearance(lib.world(), 0, &jitter);
         let b = night.object_appearance(lib.world(), 0, &jitter);
@@ -398,19 +408,31 @@ mod tests {
             .map(|(x, y)| (x - y).powi(2))
             .sum::<f32>()
             .sqrt();
-        assert!(dist > 0.5, "severe domain should shift appearance, got {dist}");
+        assert!(
+            dist > 0.5,
+            "severe domain should shift appearance, got {dist}"
+        );
     }
 
     #[test]
     fn night_contrast_shrinks_features() {
         let mut lib = library();
-        let night = lib.generate("night", Illumination::Night, Weather::Sunny, 0.0, vec![1.0; 4]);
+        let night = lib.generate(
+            "night",
+            Illumination::Night,
+            Weather::Sunny,
+            0.0,
+            vec![1.0; 4],
+        );
         let jitter = vec![0.0f32; 16];
         let a = night.object_appearance(lib.world(), 0, &jitter);
         let proto = lib.world().prototype(0);
         let norm_a: f32 = a.iter().map(|v| v * v).sum::<f32>().sqrt();
         let norm_p: f32 = proto.iter().map(|v| v * v).sum::<f32>().sqrt();
-        assert!(norm_a < norm_p * 0.7, "night contrast should shrink magnitude");
+        assert!(
+            norm_a < norm_p * 0.7,
+            "night contrast should shrink magnitude"
+        );
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Frame {
 
     /// Number of true-object proposals.
     pub fn object_proposal_count(&self) -> usize {
-        self.proposals.iter().filter(|p| p.true_class.is_some()).count()
+        self.proposals
+            .iter()
+            .filter(|p| p.true_class.is_some())
+            .count()
     }
 
     /// Number of background proposals.

@@ -34,12 +34,48 @@ pub fn detrac(seed: u64) -> StreamConfig {
     let mut library = DomainLibrary::new(WorldConfig::new(4, 32, seed ^ 0xD37A));
     // Class mixes: car, bus, van, truck. Night thins out everything but
     // cars; rain shifts toward heavy vehicles (Fig. 1(c) style shift).
-    library.generate("day-sunny", Illumination::Day, Weather::Sunny, 0.0, vec![8.0, 1.5, 2.0, 1.0]);
-    library.generate("day-cloudy", Illumination::Day, Weather::Cloudy, 0.35, vec![7.0, 2.0, 2.0, 1.5]);
-    library.generate("day-rainy", Illumination::Day, Weather::Rainy, 0.6, vec![5.0, 2.5, 1.5, 2.5]);
-    library.generate("dusk", Illumination::Dusk, Weather::Cloudy, 0.5, vec![6.0, 1.0, 1.5, 1.0]);
-    library.generate("night", Illumination::Night, Weather::Sunny, 0.85, vec![6.0, 0.5, 0.5, 0.4]);
-    library.generate("night-rainy", Illumination::Night, Weather::Rainy, 1.0, vec![5.0, 0.4, 0.3, 0.3]);
+    library.generate(
+        "day-sunny",
+        Illumination::Day,
+        Weather::Sunny,
+        0.0,
+        vec![8.0, 1.5, 2.0, 1.0],
+    );
+    library.generate(
+        "day-cloudy",
+        Illumination::Day,
+        Weather::Cloudy,
+        0.35,
+        vec![7.0, 2.0, 2.0, 1.5],
+    );
+    library.generate(
+        "day-rainy",
+        Illumination::Day,
+        Weather::Rainy,
+        0.6,
+        vec![5.0, 2.5, 1.5, 2.5],
+    );
+    library.generate(
+        "dusk",
+        Illumination::Dusk,
+        Weather::Cloudy,
+        0.5,
+        vec![6.0, 1.0, 1.5, 1.0],
+    );
+    library.generate(
+        "night",
+        Illumination::Night,
+        Weather::Sunny,
+        0.85,
+        vec![6.0, 0.5, 0.5, 0.4],
+    );
+    library.generate(
+        "night-rainy",
+        Illumination::Night,
+        Weather::Rainy,
+        1.0,
+        vec![5.0, 0.4, 0.3, 0.3],
+    );
     let scenes = vec![
         SceneSpec::new(0, SCENE_FRAMES),
         SceneSpec::new(1, SCENE_FRAMES),
@@ -82,10 +118,22 @@ pub fn detrac(seed: u64) -> StreamConfig {
 /// ```
 pub fn kitti(seed: u64) -> StreamConfig {
     let mut library = DomainLibrary::new(WorldConfig::new(1, 32, seed ^ 0x1717));
-    library.generate("residential", Illumination::Day, Weather::Sunny, 0.0, vec![1.0]);
+    library.generate(
+        "residential",
+        Illumination::Day,
+        Weather::Sunny,
+        0.0,
+        vec![1.0],
+    );
     library.generate("city", Illumination::Day, Weather::Cloudy, 0.5, vec![1.0]);
     library.generate("road", Illumination::Day, Weather::Rainy, 0.65, vec![1.0]);
-    library.generate("campus", Illumination::Dusk, Weather::Cloudy, 0.75, vec![1.0]);
+    library.generate(
+        "campus",
+        Illumination::Dusk,
+        Weather::Cloudy,
+        0.75,
+        vec![1.0],
+    );
     let scenes = vec![
         SceneSpec::new(0, SCENE_FRAMES),
         SceneSpec::new(1, SCENE_FRAMES),
@@ -124,11 +172,41 @@ pub fn kitti(seed: u64) -> StreamConfig {
 pub fn waymo(seed: u64) -> StreamConfig {
     let mut library = DomainLibrary::new(WorldConfig::new(3, 32, seed ^ 0x3A7A0));
     // vehicle, pedestrian, cyclist.
-    library.generate("day-suburban", Illumination::Day, Weather::Sunny, 0.0, vec![6.0, 3.0, 1.0]);
-    library.generate("day-downtown", Illumination::Day, Weather::Cloudy, 0.4, vec![5.0, 5.0, 1.5]);
-    library.generate("rain", Illumination::Day, Weather::Rainy, 0.6, vec![6.0, 2.0, 0.5]);
-    library.generate("dusk", Illumination::Dusk, Weather::Sunny, 0.55, vec![6.0, 2.0, 0.8]);
-    library.generate("night", Illumination::Night, Weather::Sunny, 0.8, vec![6.0, 1.0, 0.2]);
+    library.generate(
+        "day-suburban",
+        Illumination::Day,
+        Weather::Sunny,
+        0.0,
+        vec![6.0, 3.0, 1.0],
+    );
+    library.generate(
+        "day-downtown",
+        Illumination::Day,
+        Weather::Cloudy,
+        0.4,
+        vec![5.0, 5.0, 1.5],
+    );
+    library.generate(
+        "rain",
+        Illumination::Day,
+        Weather::Rainy,
+        0.6,
+        vec![6.0, 2.0, 0.5],
+    );
+    library.generate(
+        "dusk",
+        Illumination::Dusk,
+        Weather::Sunny,
+        0.55,
+        vec![6.0, 2.0, 0.8],
+    );
+    library.generate(
+        "night",
+        Illumination::Night,
+        Weather::Sunny,
+        0.8,
+        vec![6.0, 1.0, 0.2],
+    );
     let scenes = vec![
         SceneSpec::new(0, SCENE_FRAMES),
         SceneSpec::new(1, SCENE_FRAMES),
@@ -201,7 +279,10 @@ mod tests {
         let d = max_severity(&detrac(1));
         let k = max_severity(&kitti(1));
         let w = max_severity(&waymo(1));
-        assert!(d > w && w > k, "severity order detrac > waymo > kitti: {d} {w} {k}");
+        assert!(
+            d > w && w > k,
+            "severity order detrac > waymo > kitti: {d} {w} {k}"
+        );
     }
 
     #[test]

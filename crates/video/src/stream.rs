@@ -92,7 +92,10 @@ impl StreamConfig {
                 scene.frames = n - assigned;
             } else {
                 scene.frames = ((scene.frames as u128 * n as u128) / current as u128) as u64;
-                scene.frames = scene.frames.max(1).min(n.saturating_sub(assigned + (count - i - 1) as u64));
+                scene.frames = scene
+                    .frames
+                    .max(1)
+                    .min(n.saturating_sub(assigned + (count - i - 1) as u64));
                 assigned += scene.frames;
             }
         }
@@ -245,8 +248,7 @@ impl VideoStream {
         });
         // Birth toward the target population.
         let deficit = self.config.mean_objects - self.objects.len() as f64;
-        let spawn_prob = (deficit / self.config.mean_objects.max(1.0)).clamp(0.0, 1.0) * 0.3
-            + 0.01;
+        let spawn_prob = (deficit / self.config.mean_objects.max(1.0)).clamp(0.0, 1.0) * 0.3 + 0.01;
         if self.rng.bernoulli(spawn_prob) {
             self.spawn_object();
         }
@@ -279,7 +281,8 @@ impl VideoStream {
 
     fn make_proposals(&mut self, domain: &Domain) -> Vec<Proposal> {
         let noise = domain.noise_std();
-        let mut proposals = Vec::with_capacity(self.objects.len() + self.config.background_proposals);
+        let mut proposals =
+            Vec::with_capacity(self.objects.len() + self.config.background_proposals);
         let jitter_frac = self.config.bbox_jitter;
         let miss_rate = self.config.proposal_miss_rate;
         // Object proposals.
@@ -347,9 +350,8 @@ impl Iterator for VideoStream {
         }
 
         let (domain, in_transition) = self.effective_domain(self.scene_index, self.scene_offset);
-        let domain_changed = domain.name != self.current_domain.name
-            || in_transition
-            || self.in_transition_last;
+        let domain_changed =
+            domain.name != self.current_domain.name || in_transition || self.in_transition_last;
         self.current_domain = domain.clone();
         self.in_transition_last = in_transition;
         if domain_changed {
@@ -401,8 +403,20 @@ mod tests {
 
     fn two_scene_config(transition: u64) -> StreamConfig {
         let mut library = DomainLibrary::new(WorldConfig::new(3, 8, 1));
-        library.generate("day", Illumination::Day, Weather::Sunny, 0.0, vec![3.0, 1.0, 1.0]);
-        library.generate("night", Illumination::Night, Weather::Rainy, 0.8, vec![1.0, 0.2, 2.0]);
+        library.generate(
+            "day",
+            Illumination::Day,
+            Weather::Sunny,
+            0.0,
+            vec![3.0, 1.0, 1.0],
+        );
+        library.generate(
+            "night",
+            Illumination::Night,
+            Weather::Rainy,
+            0.8,
+            vec![1.0, 0.2, 2.0],
+        );
         StreamConfig {
             name: "test".into(),
             library,
@@ -441,7 +455,11 @@ mod tests {
     fn transition_blends_domain_names() {
         let config = two_scene_config(20);
         let frames: Vec<Frame> = config.build().collect();
-        assert!(frames[105].domain_name.contains("->"), "{}", frames[105].domain_name);
+        assert!(
+            frames[105].domain_name.contains("->"),
+            "{}",
+            frames[105].domain_name
+        );
         assert_eq!(frames[150].domain_name, "night");
     }
 
@@ -452,7 +470,10 @@ mod tests {
         let ids_a: Vec<u64> = frames[10].ground_truth.iter().map(|o| o.track_id).collect();
         let ids_b: Vec<u64> = frames[11].ground_truth.iter().map(|o| o.track_id).collect();
         let shared = ids_a.iter().filter(|id| ids_b.contains(id)).count();
-        assert!(shared >= ids_a.len().saturating_sub(2), "tracks should persist");
+        assert!(
+            shared >= ids_a.len().saturating_sub(2),
+            "tracks should persist"
+        );
     }
 
     #[test]
@@ -460,7 +481,11 @@ mod tests {
         let config = two_scene_config(0);
         let frames: Vec<Frame> = config.build().collect();
         let last_scene0: Vec<u64> = frames[99].ground_truth.iter().map(|o| o.track_id).collect();
-        let first_scene1: Vec<u64> = frames[100].ground_truth.iter().map(|o| o.track_id).collect();
+        let first_scene1: Vec<u64> = frames[100]
+            .ground_truth
+            .iter()
+            .map(|o| o.track_id)
+            .collect();
         assert!(last_scene0.iter().all(|id| !first_scene1.contains(id)));
     }
 

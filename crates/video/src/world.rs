@@ -128,12 +128,7 @@ mod tests {
     fn prototypes_have_common_norm() {
         let world = FeatureWorld::new(&WorldConfig::new(5, 32, 0));
         for c in 0..5 {
-            let norm = world
-                .prototype(c)
-                .iter()
-                .map(|v| v * v)
-                .sum::<f32>()
-                .sqrt();
+            let norm = world.prototype(c).iter().map(|v| v * v).sum::<f32>().sqrt();
             assert!((norm - 2.0).abs() < 1e-4, "class {c} norm {norm}");
         }
     }

@@ -1,0 +1,369 @@
+//! Lexical preprocessing shared by all lints.
+//!
+//! The lints operate on *scrubbed* source: comments and string/char
+//! literals are blanked out (each character replaced by a space, newlines
+//! preserved) so that token searches cannot match inside prose or test
+//! fixtures. Line and column numbers therefore map 1:1 onto the raw file.
+//!
+//! On top of the scrub, [`SourceFile`] marks which lines belong to
+//! `#[cfg(test)]` modules (found by brace matching on the scrubbed text)
+//! and which lines carry an inline `// lint:allow(<name>)` suppression in
+//! the raw source.
+
+use std::path::PathBuf;
+
+/// One preprocessed source file.
+pub struct SourceFile {
+    /// Path as reported in diagnostics (repo-relative).
+    pub path: PathBuf,
+    /// Raw lines, 0-indexed (line `i` is reported as line `i + 1`).
+    pub raw: Vec<String>,
+    /// Scrubbed lines, same indexing and char columns as `raw`.
+    pub clean: Vec<String>,
+    /// `in_test[i]` — line `i` is inside a `#[cfg(test)]` module.
+    pub in_test: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Preprocesses raw file content.
+    pub fn parse(path: PathBuf, content: &str) -> Self {
+        let clean_text = scrub(content);
+        let raw: Vec<String> = content.lines().map(str::to_owned).collect();
+        let clean: Vec<String> = clean_text.lines().map(str::to_owned).collect();
+        let in_test = mark_test_lines(&clean);
+        Self {
+            path,
+            raw,
+            clean,
+            in_test,
+        }
+    }
+
+    /// Whether line `i` (0-indexed) carries `lint:allow(<name>)` in a
+    /// comment, suppressing the named lint for that line.
+    pub fn suppressed(&self, i: usize, lint: &str) -> bool {
+        let Some(line) = self.raw.get(i) else {
+            return false;
+        };
+        line.match_indices("lint:allow(")
+            .any(|(start, pat)| line[start + pat.len()..].starts_with(lint))
+    }
+}
+
+/// Lexer state of [`scrub`].
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: usize },
+    Str,
+    StrEscape,
+    RawStr { hashes: usize },
+    Char,
+    CharEscape,
+}
+
+/// Blanks comments and string/char literals: every non-newline character
+/// inside them becomes a space, so scrubbed lines keep the raw line count
+/// and char columns.
+pub fn scrub(content: &str) -> String {
+    let chars: Vec<char> = content.chars().collect();
+    let mut out = String::with_capacity(content.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment { depth: 1 };
+                    out.push(' ');
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                }
+                'r' | 'b' if starts_raw_string(&chars, i) => {
+                    // Skip the prefix (r / br / rb) and count the hashes.
+                    let mut j = i;
+                    while matches!(chars.get(j), Some('r' | 'b')) {
+                        out.push(' ');
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        out.push(' ');
+                        j += 1;
+                    }
+                    // `j` is the opening quote.
+                    out.push(' ');
+                    i = j;
+                    state = State::RawStr { hashes };
+                }
+                'b' if next == Some('\'') => {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    state = State::Char;
+                }
+                '\'' => {
+                    if is_char_literal(&chars, i) {
+                        state = State::Char;
+                        out.push(' ');
+                    } else {
+                        // A lifetime — plain code.
+                        out.push(c);
+                    }
+                }
+                _ => out.push(c),
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            State::BlockComment { depth } => {
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment { depth: depth - 1 };
+                    }
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 1;
+                    state = State::BlockComment { depth: depth + 1 };
+                } else {
+                    out.push(blank(c));
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    state = State::StrEscape;
+                }
+                '"' => {
+                    out.push(' ');
+                    state = State::Code;
+                }
+                _ => out.push(blank(c)),
+            },
+            State::StrEscape => {
+                out.push(blank(c));
+                state = State::Str;
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += hashes;
+                    state = State::Code;
+                } else {
+                    out.push(blank(c));
+                }
+            }
+            State::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    state = State::CharEscape;
+                }
+                '\'' => {
+                    out.push(' ');
+                    state = State::Code;
+                }
+                _ => out.push(blank(c)),
+            },
+            State::CharEscape => {
+                out.push(blank(c));
+                state = State::Char;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether `chars[i..]` begins a raw (or raw-byte) string literal:
+/// `r"`, `r#`, `br"`, `br#`, `rb"` …
+fn starts_raw_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut saw_r = false;
+    // At most two prefix letters (`br` / `rb`).
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') => {
+                saw_r = true;
+                j += 1;
+            }
+            Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if !saw_r {
+        return false;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `"` at `chars[i]` is followed by `hashes` `#` characters.
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal `'x'` from a lifetime `'a`. The quote at
+/// `chars[i]` opens a char literal when an escape follows, or when the
+/// content is a single char closed by another quote.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)] mod … { … }` block, by brace
+/// matching on scrubbed lines.
+fn mark_test_lines(clean: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; clean.len()];
+    let mut i = 0;
+    while i < clean.len() {
+        if !clean[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Find the block's opening brace (on this or a following line —
+        // the attribute is usually directly above `mod tests {`).
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut j = i;
+        'outer: while j < clean.len() {
+            for c in clean[j].chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            in_test[j] = true;
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            in_test[j] = true;
+            j += 1;
+        }
+        i = j + 1;
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_line_comments() {
+        let clean = scrub("let x = 1; // trailing .unwrap() note\nlet y = 2;");
+        assert!(clean.contains("let x = 1;"));
+        assert!(!clean.contains("unwrap"));
+        assert!(clean.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn scrub_blanks_nested_block_comments() {
+        let clean = scrub("a /* outer /* inner */ still comment */ b");
+        assert!(clean.starts_with('a'));
+        assert!(clean.ends_with('b'));
+        assert!(!clean.contains("comment"));
+    }
+
+    #[test]
+    fn scrub_blanks_strings_and_keeps_columns() {
+        let src = "call(\"panic! inside\"); next";
+        let clean = scrub(src);
+        assert_eq!(clean.chars().count(), src.chars().count());
+        assert!(!clean.contains("panic!"));
+        assert!(clean.contains("call("));
+        assert!(clean.contains("next"));
+    }
+
+    #[test]
+    fn scrub_handles_escaped_quotes() {
+        let clean = scrub(r#"let s = "he said \"hi\""; done()"#);
+        assert!(clean.contains("done()"));
+        assert!(!clean.contains("hi"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings() {
+        let clean = scrub(r##"let s = r#"raw "quoted" .unwrap()"#; after()"##);
+        assert!(clean.contains("after()"));
+        assert!(!clean.contains("unwrap"));
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes_but_blanks_char_literals() {
+        let clean = scrub("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'y'; }");
+        assert!(clean.contains("<'a>"));
+        assert!(clean.contains("&'a str"));
+        assert!(!clean.contains('y'), "char literal content must be blanked");
+    }
+
+    #[test]
+    fn scrub_preserves_line_structure() {
+        let src = "a\n/* two\nlines */\nb\n";
+        let clean = scrub(src);
+        assert_eq!(clean.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let src = "\
+fn live() { x.unwrap(); }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { y.unwrap(); }
+}
+
+fn also_live() {}
+";
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        assert!(!f.in_test[0]);
+        assert!(f.in_test[3], "mod tests line");
+        assert!(f.in_test[5], "test body line");
+        assert!(!f.in_test[8], "code after the test mod");
+    }
+
+    #[test]
+    fn suppressions_are_line_scoped() {
+        let src =
+            "let a = x.unwrap(); // lint:allow(panic-audit) startup only\nlet b = y.unwrap();\n";
+        let f = SourceFile::parse(PathBuf::from("x.rs"), src);
+        assert!(f.suppressed(0, "panic-audit"));
+        assert!(!f.suppressed(0, "float-eq"));
+        assert!(!f.suppressed(1, "panic-audit"));
+    }
+}

@@ -27,7 +27,7 @@ fn main() {
     for strategy in [Strategy::Shoggoth, Strategy::Ams, Strategy::CloudOnly] {
         let mut base = SimConfig::quick(presets::detrac(23).with_total_frames(5400));
         base.strategy = strategy;
-        let report = run_fleet(&FleetConfig::new(base, devices));
+        let report = run_fleet(&FleetConfig::new(base, devices)).expect("fleet run failed");
         let supported = if report.supported_devices_per_gpu.is_finite() {
             format!("{:.0}", report.supported_devices_per_gpu)
         } else {

@@ -17,9 +17,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stream = StreamBuilder::new("toll-plaza", WorldConfig::new(3, 32, 77))
         // Classes: car, truck, motorcycle. The first domain is the
         // pre-training source.
-        .domain("morning", Illumination::Day, Weather::Sunny, 0.0, vec![6.0, 2.0, 1.0])
-        .domain("storm", Illumination::Dusk, Weather::Rainy, 0.8, vec![4.0, 3.0, 0.2])
-        .domain("night", Illumination::Night, Weather::Cloudy, 0.9, vec![5.0, 2.0, 0.1])
+        .domain(
+            "morning",
+            Illumination::Day,
+            Weather::Sunny,
+            0.0,
+            vec![6.0, 2.0, 1.0],
+        )
+        .domain(
+            "storm",
+            Illumination::Dusk,
+            Weather::Rainy,
+            0.8,
+            vec![4.0, 3.0, 0.2],
+        )
+        .domain(
+            "night",
+            Illumination::Night,
+            Weather::Cloudy,
+            0.9,
+            vec![5.0, 2.0, 0.1],
+        )
         .scene("morning", 2400) // 80 s of calm
         .scene("storm", 1800)
         .scene("morning", 900)
@@ -29,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transition_frames(60)
         .build()?;
 
-    println!("custom scenario: {} frames over {} scenes", stream.total_frames(), 5);
+    println!(
+        "custom scenario: {} frames over {} scenes",
+        stream.total_frames(),
+        5
+    );
     println!("pre-training models ...\n");
 
     let mut config = SimConfig::quick(stream);
@@ -43,8 +65,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:-<64}", "");
     for strategy in [Strategy::EdgeOnly, Strategy::Shoggoth, Strategy::Prompt] {
         config.strategy = strategy;
-        let report =
-            Simulation::run_with_models(&config, student.clone(), teacher.clone());
+        let report = Simulation::run_with_models(&config, student.clone(), teacher.clone())
+            .expect("simulation run failed");
         println!(
             "{:<12} {:>10.1} {:>12.1} {:>12.2} {:>10}",
             report.strategy,

@@ -9,7 +9,9 @@
 //! cargo run --release --example drift_anatomy
 //! ```
 
-use shoggoth_models::{sample_domain_batch, StudentConfig, StudentDetector, TeacherConfig, TeacherDetector};
+use shoggoth_models::{
+    sample_domain_batch, StudentConfig, StudentDetector, TeacherConfig, TeacherDetector,
+};
 use shoggoth_util::Rng;
 use shoggoth_video::domain::class_histogram;
 use shoggoth_video::presets;
@@ -27,7 +29,10 @@ fn main() {
     for domain in library.domains() {
         let draws: Vec<usize> = (0..4000).map(|_| domain.sample_class(&mut rng)).collect();
         let hist = class_histogram(&draws, classes);
-        let bars: Vec<String> = hist.iter().map(|h| format!("{:>5.1}%", h * 100.0)).collect();
+        let bars: Vec<String> = hist
+            .iter()
+            .map(|h| format!("{:>5.1}%", h * 100.0))
+            .collect();
         println!("{:<16} {}", domain.name, bars.join("  "));
     }
     println!("{:-<66}", "");
@@ -46,7 +51,10 @@ fn main() {
 
     println!("\nclassification accuracy per domain:");
     println!("{:-<54}", "");
-    println!("{:<16} {:>12} {:>12} {:>10}", "domain", "student", "teacher", "gap");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "domain", "student", "teacher", "gap"
+    );
     println!("{:-<54}", "");
     for domain in library.domains() {
         let eval = sample_domain_batch(world, domain, 400, 200, &mut rng);

@@ -37,8 +37,8 @@ fn main() {
     ];
     for (label, strategy) in policies {
         base.strategy = strategy;
-        let report =
-            Simulation::run_with_models(&base, student.clone(), teacher.clone());
+        let report = Simulation::run_with_models(&base, student.clone(), teacher.clone())
+            .expect("simulation run failed");
         println!(
             "{:<12} {:>12.1} {:>12.3} {:>12.1} {:>10}",
             label,
@@ -53,7 +53,8 @@ fn main() {
     // Show the raw controller reacting to a synthetic φ/α trace: a calm
     // stretch, a scene change, then calm again.
     println!("\ncontroller trajectory on a synthetic calm -> change -> calm trace:");
-    let mut ctl = SamplingRateController::new(ControllerConfig::paper_defaults());
+    let mut ctl =
+        SamplingRateController::new(ControllerConfig::paper_defaults()).expect("valid defaults");
     let mut teacher = teacher;
     let mut prev: Option<Vec<shoggoth_models::Detection>> = None;
     let mut shown_step = 0;
@@ -68,12 +69,19 @@ fn main() {
         prev = Some(dets);
         if i % 300 == 0 {
             // Update every 10 s with a plausible α.
-            let alpha = if frame.domain_name.contains("night") { 0.5 } else { 0.95 };
+            let alpha = if frame.domain_name.contains("night") {
+                0.5
+            } else {
+                0.95
+            };
             let rate = ctl.update(alpha, 0.4);
             shown_step += 1;
             println!(
                 "  t={:>5.0}s  domain={:<22} phi_bar={:.2}  rate={:.2} fps",
-                frame.timestamp, frame.domain_name, ctl.phi_bar(), rate
+                frame.timestamp,
+                frame.domain_name,
+                ctl.phi_bar(),
+                rate
             );
             if shown_step >= 18 {
                 break;

@@ -24,8 +24,8 @@ fn main() {
     let (student, teacher) = Simulation::build_models(&config);
 
     // Run Shoggoth once through the stream.
-    let shoggoth =
-        Simulation::run_with_models(&config, student.clone(), teacher.clone());
+    let shoggoth = Simulation::run_with_models(&config, student.clone(), teacher.clone())
+        .expect("simulation run failed");
 
     // For the per-scene breakdown, replay the stream with the frozen
     // (non-adapted) student and score both strategies scene by scene.
@@ -40,8 +40,7 @@ fn main() {
             shoggoth_maps.push(Vec::new());
         }
         let detections = frozen.detect(&frame);
-        shoggoth_maps[frame.scene_index]
-            .push(shoggoth.per_frame_map[frame.index as usize]);
+        shoggoth_maps[frame.scene_index].push(shoggoth.per_frame_map[frame.index as usize]);
         edge_evals[frame.scene_index].push(FrameEval {
             detections,
             ground_truth: frame.ground_truth,
@@ -51,13 +50,20 @@ fn main() {
     let classes = stream.library.world().num_classes();
     println!("\nscene-by-scene mAP@0.5 (%), Edge-Only vs Shoggoth:");
     println!("{:-<64}", "");
-    println!("{:<6} {:<22} {:>12} {:>12}", "scene", "domain", "Edge-Only", "Shoggoth");
+    println!(
+        "{:<6} {:<22} {:>12} {:>12}",
+        "scene", "domain", "Edge-Only", "Shoggoth"
+    );
     println!("{:-<64}", "");
     for (i, name) in scene_names.iter().enumerate() {
         let edge_map = map_at_05(&edge_evals[i], classes) * 100.0;
         let shog_map =
             shoggoth_maps[i].iter().sum::<f64>() / shoggoth_maps[i].len().max(1) as f64 * 100.0;
-        let marker = if shog_map > edge_map + 2.0 { "  <- adapted" } else { "" };
+        let marker = if shog_map > edge_map + 2.0 {
+            "  <- adapted"
+        } else {
+            ""
+        };
         println!("{i:<6} {name:<22} {edge_map:>12.1} {shog_map:>12.1}{marker}");
     }
     println!("{:-<64}", "");

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# The whole CI gate, runnable locally. Every step must pass before merge;
+# see DESIGN.md §8 (Correctness tooling) for what the domain lints check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -p xtask -- lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo test --workspace (tier-1 and crate tests)"
+cargo test -q --workspace
+
+echo "==> cargo test -p shoggoth-tensor --features finite-check"
+cargo test -q -p shoggoth-tensor --features finite-check
+
+echo "CI green."

@@ -11,7 +11,11 @@ use shoggoth_video::presets;
 
 /// Common fixture: a Waymo-like library, a source-pretrained student and
 /// an all-domain teacher.
-fn fixture() -> (shoggoth_video::StreamConfig, StudentDetector, TeacherDetector) {
+fn fixture() -> (
+    shoggoth_video::StreamConfig,
+    StudentDetector,
+    TeacherDetector,
+) {
     let stream = presets::waymo(41);
     let world = stream.library.world();
     let student = StudentDetector::pretrained_with(
@@ -64,7 +68,9 @@ fn distillation_from_teacher_labels_recovers_drift() {
             .iter()
             .flat_map(|f| pseudo_label(&mut teacher, f, classes, 0.5))
             .collect();
-        trainer.train_session(&mut student, &fresh, &mut rng);
+        trainer
+            .train_session(&mut student, &fresh, &mut rng)
+            .expect("session trains");
     }
     let after = student.evaluate(&eval);
     // The robust backbone keeps the pre-adaptation drop small, so assert
@@ -102,10 +108,16 @@ fn teacher_label_quality_bounds_student_recovery() {
             .zip(teacher_view)
             .map(|(s, (class, conf))| shoggoth_models::LabeledSample {
                 features: s.features.clone(),
-                label: if conf >= 0.5 { class } else { stream.library.world().num_classes() },
+                label: if conf >= 0.5 {
+                    class
+                } else {
+                    stream.library.world().num_classes()
+                },
             })
             .collect();
-        trainer.train_session(&mut student, &fresh, &mut rng);
+        trainer
+            .train_session(&mut student, &fresh, &mut rng)
+            .expect("session trains");
     }
     let student_acc = student.evaluate(&eval);
     let teacher_acc = teacher.evaluate(&eval);
@@ -134,7 +146,9 @@ fn all_freeze_policies_complete_and_preserve_source_competence() {
         });
         for _ in 0..2 {
             let fresh = sample_domain_batch(world, stream.library.domain(1), 80, 40, &mut rng);
-            trainer.train_session(&mut s, &fresh, &mut rng);
+            trainer
+                .train_session(&mut s, &fresh, &mut rng)
+                .expect("session trains");
         }
         let acc = s.evaluate(&source_eval);
         assert!(
@@ -163,7 +177,9 @@ fn replay_placements_all_train() {
         });
         for _ in 0..3 {
             let fresh = sample_domain_batch(world, stream.library.domain(4), 100, 50, &mut rng);
-            trainer.train_session(&mut s, &fresh, &mut rng);
+            trainer
+                .train_session(&mut s, &fresh, &mut rng)
+                .expect("session trains");
         }
         let after = s.evaluate(&drift_eval);
         assert!(

@@ -19,13 +19,14 @@ fn run_all(frames: u64) -> (Vec<(Strategy, SimReport)>, StudentDetector, Teacher
     let mut reports = Vec::new();
     for strategy in Strategy::table_one() {
         let cfg = config(strategy, frames);
-        let report = Simulation::run_with_models(&cfg, student.clone(), teacher.clone());
+        let report = Simulation::run_with_models(&cfg, student.clone(), teacher.clone())
+            .expect("run succeeds");
         reports.push((strategy, report));
     }
     (reports, student, teacher)
 }
 
-fn find<'r>(reports: &'r [(Strategy, SimReport)], s: Strategy) -> &'r SimReport {
+fn find(reports: &[(Strategy, SimReport)], s: Strategy) -> &SimReport {
     &reports.iter().find(|(st, _)| *st == s).expect("ran").1
 }
 
@@ -43,10 +44,30 @@ fn table_one_qualitative_orderings_hold() {
     // the quick models get only 2-3 sessions, so small dips from early
     // pseudo-label noise are tolerated — the long-horizon gains are
     // asserted by the full-scale harness, not this smoke test.)
-    assert!(cloud.map50 > edge.map50 + 0.05, "cloud {} vs edge {}", cloud.map50, edge.map50);
-    assert!(shoggoth.map50 >= edge.map50 - 0.08, "shoggoth {} vs edge {}", shoggoth.map50, edge.map50);
-    assert!(ams.map50 >= edge.map50 - 0.08, "ams {} vs edge {}", ams.map50, edge.map50);
-    assert!(prompt.map50 >= edge.map50 - 0.08, "prompt {} vs edge {}", prompt.map50, edge.map50);
+    assert!(
+        cloud.map50 > edge.map50 + 0.05,
+        "cloud {} vs edge {}",
+        cloud.map50,
+        edge.map50
+    );
+    assert!(
+        shoggoth.map50 >= edge.map50 - 0.08,
+        "shoggoth {} vs edge {}",
+        shoggoth.map50,
+        edge.map50
+    );
+    assert!(
+        ams.map50 >= edge.map50 - 0.08,
+        "ams {} vs edge {}",
+        ams.map50,
+        edge.map50
+    );
+    assert!(
+        prompt.map50 >= edge.map50 - 0.08,
+        "prompt {} vs edge {}",
+        prompt.map50,
+        edge.map50
+    );
 
     // Bandwidth: Cloud-Only dwarfs everything; Edge-Only uses nothing;
     // Shoggoth's label downlink is tiny next to AMS's model downlink.
@@ -99,14 +120,14 @@ fn reports_are_internally_consistent() {
 fn same_seed_same_report_different_seed_different_stream() {
     let cfg = config(Strategy::Shoggoth, 900);
     let (student, teacher) = Simulation::build_models(&cfg);
-    let a = Simulation::run_with_models(&cfg, student.clone(), teacher.clone());
-    let b = Simulation::run_with_models(&cfg, student.clone(), teacher.clone());
+    let a = Simulation::run_with_models(&cfg, student.clone(), teacher.clone()).expect("runs");
+    let b = Simulation::run_with_models(&cfg, student.clone(), teacher.clone()).expect("runs");
     assert_eq!(a.map50, b.map50);
     assert_eq!(a.uplink_bytes, b.uplink_bytes);
 
     let mut cfg2 = cfg.clone();
     cfg2.stream = cfg2.stream.with_seed(99);
-    let c = Simulation::run_with_models(&cfg2, student, teacher);
+    let c = Simulation::run_with_models(&cfg2, student, teacher).expect("runs");
     assert_ne!(a.per_frame_map, c.per_frame_map);
 }
 
@@ -115,7 +136,7 @@ fn adaptive_rate_moves_with_the_stream() {
     // On a long-enough stream, the controller must have moved the rate
     // off its initial value at least once.
     let cfg = config(Strategy::Shoggoth, 3600);
-    let report = Simulation::run(&cfg);
+    let report = Simulation::run(&cfg).expect("runs");
     let initial = cfg.cloud.controller.initial_rate;
     assert!(
         (report.final_sampling_rate - initial).abs() > 1e-6

@@ -16,7 +16,7 @@ fn base(frames: u64) -> SimConfig {
 fn lossy_link_still_completes() {
     let mut config = base(1800);
     config.link = LinkConfig::cellular().with_loss_rate(0.3);
-    let report = Simulation::run(&config);
+    let report = Simulation::run(&config).expect("lossy run still completes");
     assert_eq!(report.frames, 1800);
     // Uplink bytes are still billed for lost messages (the sender
     // transmitted them).
@@ -30,11 +30,13 @@ fn total_blackout_degrades_to_edge_only_accuracy() {
 
     let mut config_dead = config_ok.clone();
     config_dead.link = LinkConfig::cellular().with_loss_rate(1.0);
-    let dead = Simulation::run_with_models(&config_dead, student.clone(), teacher.clone());
+    let dead = Simulation::run_with_models(&config_dead, student.clone(), teacher.clone())
+        .expect("dead-link run still completes");
 
     let mut config_edge = config_ok.clone();
     config_edge.strategy = Strategy::EdgeOnly;
-    let edge = Simulation::run_with_models(&config_edge, student.clone(), teacher.clone());
+    let edge = Simulation::run_with_models(&config_edge, student.clone(), teacher.clone())
+        .expect("edge-only run completes");
 
     // With every message lost, no labels ever arrive, so no training
     // happens: accuracy matches Edge-Only on the identical stream.
@@ -49,11 +51,13 @@ fn total_blackout_degrades_to_edge_only_accuracy() {
 fn moderate_loss_costs_accuracy_but_not_correctness() {
     let config_ok = base(3600);
     let (student, teacher) = Simulation::build_models(&config_ok);
-    let clean = Simulation::run_with_models(&config_ok, student.clone(), teacher.clone());
+    let clean = Simulation::run_with_models(&config_ok, student.clone(), teacher.clone())
+        .expect("clean run completes");
 
     let mut config_lossy = config_ok.clone();
     config_lossy.link = LinkConfig::cellular().with_loss_rate(0.5);
-    let lossy = Simulation::run_with_models(&config_lossy, student, teacher);
+    let lossy =
+        Simulation::run_with_models(&config_lossy, student, teacher).expect("lossy run completes");
 
     // Fewer labeled chunks arrive, so at most as many sessions complete.
     assert!(lossy.training_sessions <= clean.training_sessions);
@@ -67,7 +71,7 @@ fn ams_survives_model_update_loss() {
     let mut config = base(2700);
     config.strategy = Strategy::Ams;
     config.link = LinkConfig::cellular().with_loss_rate(0.4);
-    let report = Simulation::run(&config);
+    let report = Simulation::run(&config).expect("AMS lossy run completes");
     assert_eq!(report.frames, 2700);
     // AMS keeps the edge at full frame rate regardless of loss.
     assert!((report.avg_fps - 30.0).abs() < 1e-9);

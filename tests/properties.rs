@@ -130,7 +130,7 @@ proptest! {
     ) {
         let mut rng = Rng::seed_from(seed);
         let config = ControllerConfig::paper_defaults();
-        let mut ctl = SamplingRateController::new(config);
+        let mut ctl = SamplingRateController::new(config).expect("generated config is valid");
         for &phi in &phis {
             ctl.observe_phi(phi);
         }
@@ -139,6 +139,40 @@ proptest! {
             let r = ctl.update(alpha, lambda);
             prop_assert!(r >= config.r_min - 1e-12 && r <= config.r_max + 1e-12);
             prop_assert!((ctl.rate() - r).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn controller_rate_clamped_for_arbitrary_configs(
+        r_min in 0.01f64..1.0,
+        span in 0.0f64..4.0,
+        init_frac in 0.0f64..1.0,
+        eta_r in 0.0f64..10.0,
+        eta_alpha in 0.0f64..10.0,
+        phi_target in 0.0f64..1.0,
+        alpha_target in 0.0f64..1.0,
+        phi_window in 1usize..60,
+        steps in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..40),
+    ) {
+        // Not just the paper constants: any *valid* configuration must
+        // keep the rate inside [r_min, r_max] no matter how hard the
+        // φ/α error terms push.
+        let config = ControllerConfig {
+            phi_target,
+            alpha_target,
+            eta_r,
+            eta_alpha,
+            r_min,
+            r_max: r_min + span,
+            initial_rate: r_min + init_frac * span,
+            phi_window,
+            lambda_alpha: 0.4,
+        };
+        let mut ctl = SamplingRateController::new(config).expect("generated config is valid");
+        for &(phi, alpha, lambda) in &steps {
+            ctl.observe_phi(phi);
+            let r = ctl.update(alpha, lambda);
+            prop_assert!(r >= config.r_min - 1e-12 && r <= config.r_max + 1e-12);
         }
     }
 

@@ -1,0 +1,117 @@
+//! Offline stand-in for `criterion`: runs each registered benchmark a
+//! configurable number of samples and prints mean wall-clock per
+//! iteration. No statistical analysis, plots, or saved baselines — just
+//! enough to keep `cargo bench` meaningful in a no-network build.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Mini benchmark driver mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size as u64,
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iterations.max(1) as u32
+        };
+        println!(
+            "{id:<50} {per_iter:>12?}/iter  ({} iters, {:?} total)",
+            bencher.iterations, bencher.elapsed
+        );
+        self
+    }
+}
+
+/// Mirrors `criterion::Bencher`: times a closure over repeated calls.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: u64,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One warm-up call outside the timed region.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = self.samples;
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_routine() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        criterion.bench_function("counting", |b| b.iter(|| calls += 1));
+        // One warm-up call plus three timed samples.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,49 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Strategy generating `Vec`s with length drawn from `size` and elements
+/// drawn from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Creates a vector strategy: lengths from `size`, elements from
+/// `element`. An empty `size` range (e.g. `0..0`) always yields `vec![]`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end.saturating_sub(self.size.start);
+        let len = if span == 0 {
+            self.size.start.min(self.size.end)
+        } else {
+            self.size.start + rng.below(span as u64) as usize
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let mut rng = TestRng::from_name("vec");
+        let strat = vec(0usize..5, 2..7);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}

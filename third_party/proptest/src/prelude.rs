@@ -1,0 +1,10 @@
+//! The glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::arbitrary::any;
+pub use crate::strategy::{Just, Strategy};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+/// Mirrors the real prelude's `prop` module alias.
+pub mod prop {
+    pub use crate::collection;
+}

@@ -1,0 +1,180 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! float_range_strategy {
+    ($($float:ty),*) => {
+        $(
+            impl Strategy for Range<$float> {
+                type Value = $float;
+
+                fn generate(&self, rng: &mut TestRng) -> $float {
+                    let span = f64::from(self.end) - f64::from(self.start);
+                    let draw = f64::from(self.start) + span * rng.next_unit_f64();
+                    let value = draw as $float;
+                    // Rounding may land exactly on the (exclusive) end.
+                    if value < self.end {
+                        value
+                    } else {
+                        self.start
+                    }
+                }
+            }
+        )*
+    };
+}
+
+float_range_strategy!(f32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let span = self.end - self.start;
+        let draw = self.start + span * rng.next_unit_f64();
+        if draw < self.end {
+            draw
+        } else {
+            self.start
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($int:ty),*) => {
+        $(
+            impl Strategy for Range<$int> {
+                type Value = $int;
+
+                fn generate(&self, rng: &mut TestRng) -> $int {
+                    debug_assert!(self.start < self.end, "empty integer range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start + rng.below(span) as $int
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy!(
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, G)
+);
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let f = (0.25f32..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let d = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&d));
+            let u = (5usize..9).generate(&mut rng);
+            assert!((5..9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let mut rng = TestRng::from_name("map");
+        let strat = (1usize..10).prop_map(|n| n * 2);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && (2..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_draw_independently() {
+        let mut rng = TestRng::from_name("tuple");
+        let strat = (0.0f32..1.0, 0usize..4, 0.0f64..1.0);
+        let (a, b, c) = strat.generate(&mut rng);
+        assert!((0.0..1.0).contains(&a));
+        assert!(b < 4);
+        assert!((0.0..1.0).contains(&c));
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names (blanket-implemented
+//! for every type) and re-exports the no-op derive macros, so code written
+//! against the real serde compiles unchanged in a no-network build.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -30,13 +30,13 @@ fn bench_replay_memory(c: &mut Criterion) {
     c.bench_function("replay_memory_integrate_600_into_3000", |b| {
         let mut memory = ReplayMemory::new(3000);
         b.iter(|| {
-            memory.integrate(black_box(&batch), &mut rng);
+            memory.integrate(black_box(batch.clone()), &mut rng);
         });
     });
     c.bench_function("replay_memory_sample_48_of_3000", |b| {
         let mut memory = ReplayMemory::new(3000);
         for _ in 0..6 {
-            memory.integrate(&batch, &mut rng);
+            memory.integrate(batch.clone(), &mut rng);
         }
         b.iter(|| black_box(memory.sample(48, &mut rng)));
     });

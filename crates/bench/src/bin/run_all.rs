@@ -3,6 +3,12 @@
 //! Scale with `SHOGGOTH_FRAMES` (frames per stream, default 27 000) and
 //! `SHOGGOTH_SEED` (default 1). Results also land as JSON under
 //! `target/experiments/`.
+//!
+//! Experiments with independent simulations (Table I's strategy sweep, the
+//! fleet analysis) fan out over worker threads; `SHOGGOTH_THREADS` caps
+//! the pool (`SHOGGOTH_THREADS=1` forces serial). Every thread count
+//! produces bit-identical tables and JSON — seeding is fixed per work item
+//! and results are merged back in submission order.
 
 use shoggoth_bench::experiments;
 

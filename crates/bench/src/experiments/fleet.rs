@@ -41,13 +41,9 @@ pub fn run() -> FleetResult {
 
     println!("Fleet scalability — cloud GPU demand per edge device");
     println!("({devices} devices × {frames} frames on UA-DETRAC, seed {seed})\n");
-    rule(86);
-    println!(
-        "{:<12} {:>12} {:>16} {:>18} {:>20}",
-        "Strategy", "mean mAP %", "GPU s (fleet)", "GPU util/device", "devices per GPU"
-    );
-    rule(86);
 
+    // Compute every fleet first (each run_fleet fans its devices over
+    // worker threads), then print the table from the finished reports.
     let mut fleets = Vec::new();
     for strategy in [
         Strategy::Shoggoth,
@@ -62,6 +58,16 @@ pub fn run() -> FleetResult {
         base.teacher_seed = seed.wrapping_add(1);
         let report =
             run_fleet(&FleetConfig::new(base, devices)).expect("fleet experiment run failed");
+        fleets.push(report);
+    }
+
+    rule(86);
+    println!(
+        "{:<12} {:>12} {:>16} {:>18} {:>20}",
+        "Strategy", "mean mAP %", "GPU s (fleet)", "GPU util/device", "devices per GPU"
+    );
+    rule(86);
+    for report in &fleets {
         let supported = if report.supported_devices_per_gpu.is_finite() {
             format!("{:.0}", report.supported_devices_per_gpu)
         } else {
@@ -75,7 +81,6 @@ pub fn run() -> FleetResult {
             report.gpu_utilization_per_device * 100.0,
             supported,
         );
-        fleets.push(report);
     }
     rule(86);
     println!("\n(paper: Shoggoth supports more devices per GPU than AMS because the");

@@ -8,7 +8,7 @@
 //! downlink; AMS pays a heavy downlink for similar mAP; Edge-Only is far
 //! behind.
 
-use crate::{experiment_frames, experiment_seed, rule, run_strategy, write_json, SharedModels};
+use crate::{experiment_frames, experiment_seed, rule, run_strategies, write_json, SharedModels};
 use serde::Serialize;
 use shoggoth::sim::SimReport;
 use shoggoth::strategy::Strategy;
@@ -79,6 +79,14 @@ pub fn run() -> Table1Result {
         eprintln!("[table1] pre-training models for {display_name} ...");
         let models = SharedModels::build(&stream, seed);
 
+        // Compute first (strategies fan out over worker threads), print the
+        // finished rows after — output is identical to the serial order.
+        eprintln!(
+            "[table1] running {} strategies on {display_name} ...",
+            strategies.len()
+        );
+        let reports = run_strategies(&stream, &strategies, &models, seed, 0);
+
         println!("{display_name}");
         rule(90);
         println!(
@@ -86,10 +94,9 @@ pub fn run() -> Table1Result {
             "Strategy", "Up (Kbps)", "Down (Kbps)", "mAP@0.5 (%)"
         );
         rule(90);
-        for (i, strategy) in strategies.iter().enumerate() {
-            eprintln!("[table1] running {strategy} on {display_name} ...");
-            let report = run_strategy(&stream, *strategy, &models, seed);
-            let (p_up, p_down, p_map) = paper_rows[i];
+        for ((strategy, report), &(p_up, p_down, p_map)) in
+            strategies.iter().zip(&reports).zip(paper_rows.iter())
+        {
             println!(
                 "{:<12} {:>10.1} ({:>7.1}) {:>10.1} ({:>7.1}) {:>8.1} ({:>5.1})",
                 strategy.name(),
@@ -100,8 +107,8 @@ pub fn run() -> Table1Result {
                 report.map50 * 100.0,
                 p_map,
             );
-            all_reports.push(report);
         }
+        all_reports.extend(reports);
         rule(90);
         println!();
     }

@@ -15,6 +15,7 @@ pub mod experiments;
 use shoggoth::sim::{SimConfig, SimReport, Simulation};
 use shoggoth::strategy::Strategy;
 use shoggoth_models::{StudentDetector, TeacherDetector};
+use shoggoth_util::parallel_map;
 use shoggoth_video::StreamConfig;
 use std::path::PathBuf;
 
@@ -96,6 +97,41 @@ pub fn run_strategy(
     config.sim_seed = seed.wrapping_add(2);
     Simulation::run_with_models(&config, models.student.clone(), models.teacher.clone())
         .expect("experiment run failed")
+}
+
+/// Runs several strategies over one stream with shared models, fanning the
+/// independent simulations over `threads` worker threads (`0` = auto,
+/// honoring `SHOGGOTH_THREADS`; `1` = serial).
+///
+/// Seeding happens per strategy before the fan-out and reports are merged
+/// back in strategy order, so the returned vector is bit-identical for
+/// every thread count.
+///
+/// # Panics
+///
+/// Aborts if any simulation run fails.
+pub fn run_strategies(
+    stream: &StreamConfig,
+    strategies: &[Strategy],
+    models: &SharedModels,
+    seed: u64,
+    threads: usize,
+) -> Vec<SimReport> {
+    let jobs: Vec<(Strategy, StudentDetector, TeacherDetector)> = strategies
+        .iter()
+        .map(|&strategy| (strategy, models.student.clone(), models.teacher.clone()))
+        .collect();
+    parallel_map(jobs, threads, |_, (strategy, student, teacher)| {
+        let mut config = SimConfig::new(stream.clone());
+        config.strategy = strategy;
+        config.student_seed = seed;
+        config.teacher_seed = seed.wrapping_add(1);
+        config.sim_seed = seed.wrapping_add(2);
+        Simulation::run_with_models(&config, student, teacher)
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()
+    .expect("experiment run failed")
 }
 
 /// Prints a horizontal rule sized to a table width.

@@ -15,6 +15,7 @@ use crate::sim::{SimConfig, SimReport, Simulation};
 use serde::Serialize;
 use shoggoth_compute::stack::mask_rcnn_x101;
 use shoggoth_compute::DeviceProfile;
+use shoggoth_util::parallel_map;
 
 /// Configuration of a fleet analysis.
 #[derive(Debug, Clone)]
@@ -26,6 +27,11 @@ pub struct FleetConfig {
     pub devices: usize,
     /// The shared cloud GPU.
     pub cloud_gpu: DeviceProfile,
+    /// Worker threads for the per-device simulations. `0` (the default)
+    /// resolves to the machine's available parallelism; `1` forces the
+    /// serial path. Device seeds and report order do not depend on this —
+    /// every thread count produces bit-identical [`FleetReport`]s.
+    pub threads: usize,
 }
 
 impl FleetConfig {
@@ -41,12 +47,22 @@ impl FleetConfig {
             base,
             devices,
             cloud_gpu,
+            threads: 0,
         }
+    }
+
+    /// Sets the worker-thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
 /// Aggregate result of a fleet analysis.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `PartialEq` is derived so determinism tests can compare whole fleet
+/// runs across thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct FleetReport {
     /// Strategy analyzed.
     pub strategy: String,
@@ -77,26 +93,42 @@ pub struct FleetReport {
 /// cameras of the same deployment. Models are pre-trained once and cloned
 /// per device.
 ///
+/// Devices are simulated on `config.threads` worker threads. Every device
+/// is seeded up front from its index alone and the reports are merged back
+/// in device order, so the result is bit-identical to a serial run.
+///
 /// # Errors
 ///
-/// Returns the first [`SimError`] a device run produced; completed device
-/// reports are discarded (each device is cheap relative to the sweep).
+/// Returns the first [`SimError`] (in device order) a device run produced;
+/// completed device reports are discarded (each device is cheap relative
+/// to the sweep).
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, SimError> {
     let (student, teacher) = Simulation::build_models(&config.base);
     let teacher_infer_secs = config
         .cloud_gpu
         .secs_for(mask_rcnn_x101().total_forward_flops());
 
-    let mut per_device = Vec::with_capacity(config.devices);
-    for device in 0..config.devices {
-        let mut device_config = config.base.clone();
-        device_config.stream = device_config
-            .stream
-            .with_seed(config.base.stream.seed.wrapping_add(device as u64 * 7919));
-        device_config.sim_seed = config.base.sim_seed.wrapping_add(device as u64);
-        let report = Simulation::run_with_models(&device_config, student.clone(), teacher.clone())?;
-        per_device.push(report);
-    }
+    // Per-device work items are fully materialized (config + model clones)
+    // before the fan-out, so worker scheduling cannot influence seeding.
+    let jobs: Vec<(SimConfig, _, _)> = (0..config.devices)
+        .map(|device| {
+            let mut device_config = config.base.clone();
+            device_config.stream = device_config
+                .stream
+                .with_seed(config.base.stream.seed.wrapping_add(device as u64 * 7919));
+            device_config.sim_seed = config.base.sim_seed.wrapping_add(device as u64);
+            (device_config, student.clone(), teacher.clone())
+        })
+        .collect();
+    let per_device: Vec<SimReport> = parallel_map(
+        jobs,
+        config.threads,
+        |_, (device_config, device_student, device_teacher)| {
+            Simulation::run_with_models(&device_config, device_student, device_teacher)
+        },
+    )
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     let duration_secs = per_device
         .first()

@@ -36,7 +36,7 @@ pub struct ReplayItem {
 /// let batch: Vec<ReplayItem> = (0..40)
 ///     .map(|i| ReplayItem { activation: vec![i as f32], label: 0, stored_at_run: 0 })
 ///     .collect();
-/// memory.integrate(&batch, &mut rng);
+/// memory.integrate(batch, &mut rng);
 /// assert_eq!(memory.len(), 40);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -99,7 +99,11 @@ impl ReplayMemory {
     /// When full: `h = M_size / i` random batch items replace `h` random
     /// memory items. When not full: all available images are memorized
     /// (a random subset if the batch overflows the remaining space).
-    pub fn integrate(&mut self, batch: &[ReplayItem], rng: &mut Rng) {
+    ///
+    /// The batch is taken by value so selected items (and their activation
+    /// buffers) are *moved* into the memory — integration never copies an
+    /// activation volume.
+    pub fn integrate(&mut self, mut batch: Vec<ReplayItem>, rng: &mut Rng) {
         self.runs += 1;
         if batch.is_empty() {
             return;
@@ -112,22 +116,40 @@ impl ReplayMemory {
             let add_idx = rng.sample_indices(batch.len(), h);
             let replace_idx = rng.sample_indices(self.items.len(), h);
             for (&src, &dst) in add_idx.iter().zip(&replace_idx) {
-                let mut item = batch[src].clone();
+                // `sample_indices` returns distinct indices, so each source
+                // slot is moved out of at most once.
+                let mut item = std::mem::replace(
+                    &mut batch[src],
+                    ReplayItem {
+                        activation: Vec::new(),
+                        label: 0,
+                        stored_at_run: 0,
+                    },
+                );
                 item.stored_at_run = self.runs;
                 self.items[dst] = item;
             }
         } else {
             let space = self.capacity - self.items.len();
             let take = batch.len().min(space);
-            let chosen = if take == batch.len() {
-                (0..batch.len()).collect()
+            if take == batch.len() {
+                for mut item in batch {
+                    item.stored_at_run = self.runs;
+                    self.items.push(item);
+                }
             } else {
-                rng.sample_indices(batch.len(), take)
-            };
-            for &src in &chosen {
-                let mut item = batch[src].clone();
-                item.stored_at_run = self.runs;
-                self.items.push(item);
+                for &src in &rng.sample_indices(batch.len(), take) {
+                    let mut item = std::mem::replace(
+                        &mut batch[src],
+                        ReplayItem {
+                            activation: Vec::new(),
+                            label: 0,
+                            stored_at_run: 0,
+                        },
+                    );
+                    item.stored_at_run = self.runs;
+                    self.items.push(item);
+                }
             }
         }
     }
@@ -166,10 +188,10 @@ mod tests {
     fn fills_before_replacing() {
         let mut m = ReplayMemory::new(50);
         let mut rng = Rng::seed_from(1);
-        m.integrate(&batch(30, 0), &mut rng);
+        m.integrate(batch(30, 0), &mut rng);
         assert_eq!(m.len(), 30);
         assert!(!m.is_full());
-        m.integrate(&batch(30, 1), &mut rng);
+        m.integrate(batch(30, 1), &mut rng);
         // Only 20 slots remained.
         assert_eq!(m.len(), 50);
         assert!(m.is_full());
@@ -180,7 +202,7 @@ mod tests {
         let mut m = ReplayMemory::new(40);
         let mut rng = Rng::seed_from(2);
         for run in 0..10 {
-            m.integrate(&batch(40, run), &mut rng);
+            m.integrate(batch(40, run), &mut rng);
             assert!(m.len() <= 40);
         }
         assert_eq!(m.len(), 40);
@@ -193,7 +215,7 @@ mod tests {
         let mut m = ReplayMemory::new(100);
         let mut rng = Rng::seed_from(3);
         for run in 0..50 {
-            m.integrate(&batch(100, run), &mut rng);
+            m.integrate(batch(100, run), &mut rng);
         }
         // Expected survivors from the first five batches ≈ 13 of 100 under
         // Algorithm 1's h = M_size/i decay; a plain FIFO would leave zero.
@@ -209,7 +231,7 @@ mod tests {
         let mut m = ReplayMemory::new(100);
         let mut rng = Rng::seed_from(4);
         for run in 0..30 {
-            m.integrate(&batch(100, run), &mut rng);
+            m.integrate(batch(100, run), &mut rng);
         }
         let distinct: std::collections::BTreeSet<usize> =
             m.items().iter().map(|i| i.label).collect();
@@ -223,7 +245,7 @@ mod tests {
     fn empty_batch_only_ticks_counter() {
         let mut m = ReplayMemory::new(10);
         let mut rng = Rng::seed_from(5);
-        m.integrate(&[], &mut rng);
+        m.integrate(Vec::new(), &mut rng);
         assert_eq!(m.runs(), 1);
         assert!(m.is_empty());
     }
@@ -232,7 +254,7 @@ mod tests {
     fn overflowing_first_batch_is_subsampled() {
         let mut m = ReplayMemory::new(10);
         let mut rng = Rng::seed_from(6);
-        m.integrate(&batch(25, 0), &mut rng);
+        m.integrate(batch(25, 0), &mut rng);
         assert_eq!(m.len(), 10);
     }
 
@@ -240,7 +262,7 @@ mod tests {
     fn sample_returns_distinct_items() {
         let mut m = ReplayMemory::new(20);
         let mut rng = Rng::seed_from(7);
-        m.integrate(&batch(20, 0), &mut rng);
+        m.integrate(batch(20, 0), &mut rng);
         let s = m.sample(8, &mut rng);
         assert_eq!(s.len(), 8);
         let s = m.sample(100, &mut rng);
@@ -251,7 +273,7 @@ mod tests {
     fn reset_clears_everything() {
         let mut m = ReplayMemory::new(10);
         let mut rng = Rng::seed_from(8);
-        m.integrate(&batch(10, 0), &mut rng);
+        m.integrate(batch(10, 0), &mut rng);
         m.reset();
         assert!(m.is_empty());
         assert_eq!(m.runs(), 0);

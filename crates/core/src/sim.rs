@@ -106,7 +106,10 @@ impl SimConfig {
 }
 
 /// Everything one simulation run measured.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `PartialEq` is derived so determinism tests can assert that two runs
+/// (e.g. serial vs. parallel fleet schedules) are bit-identical.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimReport {
     /// Strategy name.
     pub strategy: String,

@@ -214,7 +214,7 @@ impl AdaptiveTrainer {
         rng: &mut Rng,
     ) -> Result<SessionReport, TrainError> {
         if fresh.is_empty() {
-            self.memory.integrate(&[], rng);
+            self.memory.integrate(Vec::new(), rng);
             self.sessions += 1;
             return Ok(SessionReport {
                 fresh_samples: 0,
@@ -272,70 +272,101 @@ impl AdaptiveTrainer {
         let mut replay_used = 0usize;
         let mut first_mini_batch = true;
 
+        // Persistent scratch for the mini-batch loop: storage is reused
+        // across iterations and epochs so the steady-state step allocates
+        // nothing on the tensor path.
+        let mut labels: Vec<usize> = Vec::with_capacity(k);
+        let mut x_rows = Matrix::zeros(0, 0);
+        let mut fresh_acts = Matrix::zeros(0, 0);
+        let mut acts_buf = Matrix::zeros(0, 0);
+        let mut grad = Matrix::zeros(0, 0);
+        let mut grad_fresh = Matrix::zeros(0, 0);
+
         for _ in 0..self.config.epochs {
             rng.shuffle(&mut order);
             for chunk in order.chunks(k_fresh) {
                 // Assemble the fresh part of the mini-batch.
-                let fresh_rows: Vec<usize> = chunk.to_vec();
-                let x_rows = x_fresh.select_rows(&fresh_rows);
-                let mut labels: Vec<usize> = fresh_rows.iter().map(|&i| labels_fresh[i]).collect();
+                labels.clear();
+                labels.extend(chunk.iter().map(|&i| labels_fresh[i]));
 
                 // Fresh activations at the replay layer.
-                let fresh_acts = if let Some(cached) = &cached_fresh_acts {
-                    cached.select_rows(&fresh_rows)
+                if let Some(cached) = &cached_fresh_acts {
+                    cached.select_rows_into(chunk, &mut fresh_acts);
                 } else {
-                    student
+                    x_fresh.select_rows_into(chunk, &mut x_rows);
+                    let out = student
                         .net_mut()
                         .forward_range(0..replay_layer, &x_rows, Mode::Train)
-                        .map_err(TrainError::tensor("front forward pass"))?
-                };
+                        .map_err(TrainError::tensor("front forward pass"))?;
+                    // Hand last iteration's buffer back to the workspace the
+                    // new activations came from.
+                    student
+                        .net_mut()
+                        .recycle(std::mem::replace(&mut fresh_acts, out));
+                }
 
-                // Replay part.
+                // Replay part: fresh rows first, then sampled replay
+                // activations, in one contiguous batch at the replay layer.
                 let replay_items = self.memory.sample(k_replay, rng);
                 replay_used += replay_items.len();
-                let acts = if replay_items.is_empty() {
-                    fresh_acts.clone()
+                let acts: &Matrix = if replay_items.is_empty() {
+                    &fresh_acts
                 } else {
-                    let mut replay_mat = Matrix::zeros(replay_items.len(), fresh_acts.cols());
+                    let fresh_n = fresh_acts.rows();
+                    let width = fresh_acts.cols();
+                    acts_buf.resize_zeroed(fresh_n + replay_items.len(), width);
+                    acts_buf.as_mut_slice()[..fresh_n * width]
+                        .copy_from_slice(fresh_acts.as_slice());
                     for (r, item) in replay_items.iter().enumerate() {
-                        replay_mat.row_mut(r).copy_from_slice(&item.activation);
+                        acts_buf
+                            .row_mut(fresh_n + r)
+                            .copy_from_slice(&item.activation);
                         labels.push(item.label);
                     }
-                    Matrix::vstack(&[&fresh_acts, &replay_mat])
-                        .map_err(TrainError::tensor("fresh/replay activation stacking"))?
+                    &acts_buf
                 };
 
                 // Forward through the tail, loss, backward to the replay
                 // layer.
                 let logits = student
                     .net_mut()
-                    .forward_range(replay_layer..layer_count, &acts, Mode::Train)
+                    .forward_range(replay_layer..layer_count, acts, Mode::Train)
                     .map_err(TrainError::tensor("tail forward pass"))?;
-                let (loss, grad) = losses::softmax_cross_entropy(&logits, &labels)
+                let loss = losses::softmax_cross_entropy_into(&logits, &labels, &mut grad)
                     .map_err(TrainError::tensor("loss evaluation"))?;
                 loss_sum += loss as f64;
-                let grad_at_replay = student
-                    .net_mut()
-                    .backward_range(replay_layer..layer_count, &grad)
-                    .map_err(TrainError::tensor("tail backward pass"))?;
-
-                // Backward through the front for the fresh rows when the
-                // front is trainable (or during the warm-up mini-batch).
+                student.net_mut().recycle(logits);
+                // Backward through the tail; continue into the front for
+                // the fresh rows only when the front is trainable (or
+                // during the warm-up mini-batch). The `_discard` variants
+                // skip the bottom layer's unused input-gradient matmul.
                 let train_front_now = front_trains || (warm_up_front && first_mini_batch);
                 if train_front_now && replay_layer > 0 {
+                    let grad_at_replay = student
+                        .net_mut()
+                        .backward_range(replay_layer..layer_count, &grad)
+                        .map_err(TrainError::tensor("tail backward pass"))?;
                     if cached_fresh_acts.is_some() {
                         // Warm-up with a frozen-front cache: run a fresh
                         // train-mode front pass so caches exist.
-                        student
+                        x_fresh.select_rows_into(chunk, &mut x_rows);
+                        let warm = student
                             .net_mut()
                             .forward_range(0..replay_layer, &x_rows, Mode::Train)
                             .map_err(TrainError::tensor("warm-up front forward pass"))?;
+                        student.net_mut().recycle(warm);
                     }
-                    let grad_fresh = grad_at_replay.rows_range(0..fresh_rows.len());
+                    grad_at_replay.rows_range_into(0..chunk.len(), &mut grad_fresh);
                     student
                         .net_mut()
-                        .backward_range(0..replay_layer, &grad_fresh)
+                        .backward_range_discard(0..replay_layer, &grad_fresh)
                         .map_err(TrainError::tensor("front backward pass"))?;
+                    student.net_mut().recycle(grad_at_replay);
+                } else {
+                    student
+                        .net_mut()
+                        .backward_range_discard(replay_layer..layer_count, &grad)
+                        .map_err(TrainError::tensor("tail backward pass"))?;
                 }
 
                 // Per-layer learning-rate scales.
@@ -355,9 +386,13 @@ impl AdaptiveTrainer {
                 mini_batches += 1;
             }
         }
+        if let Some(cached) = cached_fresh_acts {
+            student.net_mut().recycle(cached);
+        }
 
         // Store this batch's activations in replay memory (Algorithm 1),
-        // captured with the post-session front layers.
+        // captured with the post-session front layers. The per-item row
+        // copies are the items' own storage, moved into the memory below.
         let final_acts = student
             .net_mut()
             .activation_at(replay_layer, &x_fresh)
@@ -369,7 +404,8 @@ impl AdaptiveTrainer {
                 stored_at_run: 0,
             })
             .collect();
-        self.memory.integrate(&items, rng);
+        student.net_mut().recycle(final_acts);
+        self.memory.integrate(items, rng);
         self.sessions += 1;
 
         Ok(SessionReport {

@@ -320,7 +320,7 @@ impl StudentDetector {
                     .expect("pretrain batch shape is valid");
                 let (_, grad) =
                     losses::softmax_cross_entropy(&logits, &labels).expect("label shapes match");
-                self.net.backward(&grad).expect("forward cached");
+                self.net.backward_discard(&grad).expect("forward cached");
                 self.net
                     .step_scaled(&sgd, &scales)
                     .expect("scales match layer count");

@@ -177,7 +177,7 @@ impl TeacherDetector {
                     .expect("batch shape is valid");
                 let (_, grad) =
                     losses::softmax_cross_entropy(&logits, &labels).expect("label shapes match");
-                self.net.backward(&grad).expect("forward cached");
+                self.net.backward_discard(&grad).expect("forward cached");
                 self.net.step(&sgd).expect("finite params");
             }
         }

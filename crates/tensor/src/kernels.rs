@@ -1,0 +1,230 @@
+//! Flat-slice compute kernels behind the [`crate::Matrix`] hot-path ops.
+//!
+//! Every kernel writes into caller-provided storage and allocates nothing,
+//! so the training loop can run steady-state out of a
+//! [`crate::Workspace`]. Dimension checking happens at the `Matrix`
+//! wrappers; the kernels trust their arguments (slices of exactly the
+//! documented lengths) and keep the inner loops branch-free.
+//!
+//! Summation orders are part of the contract: each kernel accumulates in
+//! the same order as the reference expression named in its docs, so
+//! results are bit-identical to the allocating path (`matmul`,
+//! `transpose` + `matmul`, `matmul` + `add_row_broadcast`). The
+//! determinism tests and proptests in `tests/kernels_prop.rs` pin this
+//! down to exact `f32` equality.
+
+/// Column-block width of [`matmul_transb`]'s tiled inner loop. 64 columns
+/// of `f32` are 256 bytes — a handful of cache lines per visited row, so a
+/// block of `b` rows stays resident while the block is swept.
+const TRANSB_BLOCK: usize = 64;
+
+/// `out = a · b` for row-major `a` (`m × k`), `b` (`k × n`), `out`
+/// (`m × n`).
+///
+/// i-k-j loop order: the inner loop walks one row of `b` and one row of
+/// `out` contiguously. Accumulation over `k` is in increasing order,
+/// matching the classic triple loop. `out` is overwritten.
+pub fn matmul(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `out = a · bᵀ` for row-major `a` (`m × k`), `b` (`n × k`), `out`
+/// (`m × n`) — the backward-pass kernel (`grad_input = grad_output · Wᵀ`)
+/// that avoids materializing the transpose.
+///
+/// Both operands are traversed along contiguous rows, as a blocked dot
+/// product: `b`'s rows are visited in blocks of [`TRANSB_BLOCK`] so each
+/// block of `b` is reused across every row of `a` while cache-resident.
+/// Inside a block, four output columns are computed at once: a lone dot
+/// product is a sequential float-add chain bound by FP-add latency, while
+/// four independent accumulators keep the multiplier busy. Each
+/// `out[i][j]` still accumulates over `k` in increasing order — exactly
+/// the order `matmul(a, transpose(b))` uses — so results are bit-identical
+/// to the transposing path.
+pub fn matmul_transb(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for jb in (0..n).step_by(TRANSB_BLOCK) {
+        let jend = (jb + TRANSB_BLOCK).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            let mut j = jb;
+            while j + 4 <= jend {
+                let b0 = &b[j * k..(j + 1) * k];
+                let b1 = &b[(j + 1) * k..(j + 2) * k];
+                let b2 = &b[(j + 2) * k..(j + 3) * k];
+                let b3 = &b[(j + 3) * k..(j + 4) * k];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for ((((&av, &v0), &v1), &v2), &v3) in a_row.iter().zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    s0 += av * v0;
+                    s1 += av * v1;
+                    s2 += av * v2;
+                    s3 += av * v3;
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            for jj in j..jend {
+                let b_row = &b[jj * k..(jj + 1) * k];
+                let mut acc = 0.0f32;
+                for (&av, &bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                out_row[jj] = acc;
+            }
+        }
+    }
+}
+
+/// `out = aᵀ · b` for row-major `a` (`m × k`), `b` (`m × n`), `out`
+/// (`k × n`) — the gradient-of-weights kernel
+/// (`grad_W = inputᵀ · grad_output`) that avoids materializing the
+/// transpose.
+///
+/// The outer loop walks the shared `m` dimension so both operands are read
+/// along contiguous rows; each `out[c][j]` accumulates over the batch rows
+/// in increasing order, matching `matmul(transpose(a), b)` bit-for-bit.
+pub fn matmul_transa(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    out.fill(0.0);
+    for r in 0..m {
+        let a_row = &a[r * k..(r + 1) * k];
+        let b_row = &b[r * n..(r + 1) * n];
+        for (c, &av) in a_row.iter().enumerate() {
+            let out_row = &mut out[c * n..(c + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Adds the row vector `bias` (`n` wide) to every row of `out` (`m × n`)
+/// in place — the fusion tail of `addmm` (`x·W + b`).
+pub fn add_bias_rows(out: &mut [f32], bias: &[f32], m: usize, n: usize) {
+    for i in 0..m {
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (o, &bv) in out_row.iter_mut().zip(bias) {
+            *o += bv;
+        }
+    }
+}
+
+/// Fused flat-parameter SGD-with-momentum step over one parameter block:
+/// `v ← momentum·v − lr·(g + weight_decay·p); p ← p + v`.
+///
+/// One pass over three equal-length flat slices — no temporaries, no
+/// per-matrix dispatch. All three slices must have the same length; excess
+/// elements in a longer slice are ignored (the `Matrix` wrappers always
+/// pass equal-shape parameter/gradient/velocity storage).
+pub fn sgd_momentum_step(
+    params: &mut [f32],
+    grads: &[f32],
+    velocity: &mut [f32],
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+) {
+    for ((p, &g), v) in params.iter_mut().zip(grads).zip(velocity) {
+        let grad = g + weight_decay * *p;
+        *v = momentum * *v - lr * grad;
+        *p += *v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_hand_checked() {
+        // [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0f32; 4];
+        matmul(&a, &b, &mut out, 2, 2, 2);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transb_matches_explicit_transpose() {
+        // a (1×3) · bᵀ with b (2×3): out[0][j] = dot(a, b.row(j)).
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let mut out = [0.0f32; 2];
+        matmul_transb(&a, &b, &mut out, 1, 3, 2);
+        assert_eq!(out, [32.0, 50.0]);
+    }
+
+    #[test]
+    fn transa_matches_explicit_transpose() {
+        // aᵀ (2×1) · b (1×2) from a (1×2), b (1×2).
+        let a = [2.0, 3.0];
+        let b = [5.0, 7.0];
+        let mut out = [0.0f32; 4];
+        matmul_transa(&a, &b, &mut out, 1, 2, 2);
+        assert_eq!(out, [10.0, 14.0, 15.0, 21.0]);
+    }
+
+    #[test]
+    fn transb_blocking_covers_wide_outputs() {
+        // n wider than one block exercises the jb loop.
+        let m = 3;
+        let k = 5;
+        let n = TRANSB_BLOCK + 17;
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.25 - 1.0).collect();
+        let b: Vec<f32> = (0..n * k).map(|i| (i % 13) as f32 * 0.5 - 3.0).collect();
+        let mut fast = vec![0.0f32; m * n];
+        matmul_transb(&a, &b, &mut fast, m, k, n);
+        // Reference: materialized transpose through the plain kernel.
+        let mut bt = vec![0.0f32; k * n];
+        for r in 0..n {
+            for c in 0..k {
+                bt[c * n + r] = b[r * k + c];
+            }
+        }
+        let mut slow = vec![0.0f32; m * n];
+        matmul(&a, &bt, &mut slow, m, k, n);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn bias_rows_broadcast() {
+        let mut out = [0.0, 0.0, 1.0, 1.0];
+        add_bias_rows(&mut out, &[10.0, 20.0], 2, 2);
+        assert_eq!(out, [10.0, 20.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn sgd_step_hand_checked() {
+        let mut p = [1.0f32, -2.0];
+        let g = [0.5f32, 0.25];
+        let mut v = [0.0f32, 0.1];
+        sgd_momentum_step(&mut p, &g, &mut v, 0.1, 0.9, 0.0);
+        // v0 = -0.05, p0 = 0.95; v1 = 0.09 - 0.025 = 0.065, p1 = -1.935
+        assert_eq!(v, [-0.05, 0.065]);
+        assert_eq!(p, [0.95, -1.935]);
+    }
+
+    #[test]
+    fn sgd_step_applies_weight_decay() {
+        let mut p = [2.0f32];
+        let g = [0.0f32];
+        let mut v = [0.0f32];
+        sgd_momentum_step(&mut p, &g, &mut v, 0.5, 0.0, 0.1);
+        // grad = 0 + 0.1·2 = 0.2; v = -0.1; p = 1.9
+        assert_eq!(p, [1.9]);
+    }
+}

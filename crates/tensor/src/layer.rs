@@ -5,8 +5,14 @@
 //! Parameter updates are decoupled from backpropagation so the owning
 //! network can apply the paper's per-layer learning-rate scaling (front
 //! layers frozen, head fully trained).
+//!
+//! Layers draw their output matrices from a caller-provided
+//! [`Workspace`] and keep persistent caches that are overwritten in place
+//! ([`Matrix::copy_from`]), so a steady-state train step allocates nothing
+//! once the caches have grown to the working batch size.
 
-use crate::{Matrix, SgdConfig, TensorError};
+use crate::workspace::Workspace;
+use crate::{kernels, Matrix, SgdConfig, TensorError};
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -68,28 +74,58 @@ impl<'a> ParamCursor<'a> {
 /// A differentiable network layer.
 ///
 /// Implementations cache whatever `forward` state `backward` needs; calling
-/// `backward` without a preceding train-mode `forward` is an error.
+/// `backward` without a preceding train-mode `forward` is an error. Output
+/// matrices come from the supplied [`Workspace`]; the owning network hands
+/// consumed intermediates back to it.
 pub trait Layer: std::fmt::Debug + Send {
     /// Short human-readable layer name (for diagnostics).
     fn name(&self) -> &'static str;
 
-    /// Computes the layer output for a batch (one example per row).
+    /// Computes the layer output for a batch (one example per row). The
+    /// output matrix is taken from `ws`.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the input width does not
     /// match the layer.
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError>;
+    fn forward(
+        &mut self,
+        input: &Matrix,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError>;
 
     /// Propagates `grad_output` (∂loss/∂output) to ∂loss/∂input, recording
-    /// parameter gradients internally.
+    /// parameter gradients internally. The returned gradient matrix is
+    /// taken from `ws`.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::MissingForwardCache`] if no train-mode forward
     /// pass preceded this call, or [`TensorError::ShapeMismatch`] if the
     /// gradient shape is wrong.
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError>;
+    fn backward(&mut self, grad_output: &Matrix, ws: &mut Workspace)
+        -> Result<Matrix, TensorError>;
+
+    /// [`backward`](Layer::backward) for the terminal layer of a backward
+    /// pass: records parameter gradients without producing ∂loss/∂input,
+    /// which the caller was going to discard. The default delegates to
+    /// `backward` and recycles the result; layers with a separable
+    /// input-gradient kernel (e.g. [`Dense`]) override it to skip that
+    /// matmul entirely.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`backward`](Layer::backward).
+    fn backward_params_only(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<(), TensorError> {
+        let grad_in = self.backward(grad_output, ws)?;
+        ws.give(grad_in);
+        Ok(())
+    }
 
     /// Applies accumulated gradients with `cfg`, scaling the learning rate
     /// by `lr_scale` (the paper freezes front layers with `lr_scale = 0`).
@@ -136,18 +172,22 @@ impl Clone for Box<dyn Layer> {
 /// A fully-connected layer: `y = x · W + b`.
 ///
 /// Weights are initialized with He-style scaling, appropriate for the ReLU
-/// networks the detector uses.
+/// networks the detector uses. The forward pass is the bias-fused
+/// [`Matrix::addmm_into`]; the backward pass uses the transpose-free
+/// kernels ([`Matrix::matmul_transa_into`], [`Matrix::matmul_transb_into`])
+/// writing into gradient matrices that persist across steps.
 ///
 /// # Examples
 ///
 /// ```
-/// use shoggoth_tensor::{Dense, Layer, Matrix, Mode};
+/// use shoggoth_tensor::{Dense, Layer, Matrix, Mode, Workspace};
 /// use shoggoth_util::Rng;
 ///
 /// let mut rng = Rng::seed_from(0);
+/// let mut ws = Workspace::new();
 /// let mut layer = Dense::new(4, 2, &mut rng);
 /// let x = Matrix::zeros(3, 4);
-/// let y = layer.forward(&x, Mode::Eval)?;
+/// let y = layer.forward(&x, Mode::Eval, &mut ws)?;
 /// assert_eq!((y.rows(), y.cols()), (3, 2));
 /// # Ok::<(), shoggoth_tensor::TensorError>(())
 /// ```
@@ -159,7 +199,8 @@ pub struct Dense {
     grad_bias: Matrix,
     vel_weights: Matrix,
     vel_bias: Matrix,
-    cached_input: Option<Matrix>,
+    cached_input: Matrix,
+    cache_valid: bool,
     in_dim: usize,
     out_dim: usize,
 }
@@ -183,7 +224,8 @@ impl Dense {
             vel_weights: Matrix::zeros(in_dim, out_dim),
             vel_bias: Matrix::zeros(1, out_dim),
             bias: Matrix::zeros(1, out_dim),
-            cached_input: None,
+            cached_input: Matrix::zeros(0, 0),
+            cache_valid: false,
             weights,
             in_dim,
             out_dim,
@@ -215,7 +257,12 @@ impl Layer for Dense {
         "dense"
     }
 
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+    fn forward(
+        &mut self,
+        input: &Matrix,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
         if input.cols() != self.in_dim {
             return Err(TensorError::ShapeMismatch {
                 context: "Dense::forward",
@@ -224,26 +271,60 @@ impl Layer for Dense {
             });
         }
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            self.cached_input.copy_from(input);
+            self.cache_valid = true;
         }
-        input.matmul(&self.weights)?.add_row_broadcast(&self.bias)
+        let mut out = ws.take(input.rows(), self.out_dim);
+        input.addmm_into(&self.weights, &self.bias, &mut out)?;
+        Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(TensorError::MissingForwardCache { layer: "dense" })?;
-        if grad_output.cols() != self.out_dim || grad_output.rows() != input.rows() {
+    fn backward(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        if !self.cache_valid {
+            return Err(TensorError::MissingForwardCache { layer: "dense" });
+        }
+        self.cache_valid = false;
+        if grad_output.cols() != self.out_dim || grad_output.rows() != self.cached_input.rows() {
             return Err(TensorError::ShapeMismatch {
                 context: "Dense::backward",
-                expected: (input.rows(), self.out_dim),
+                expected: (self.cached_input.rows(), self.out_dim),
                 actual: (grad_output.rows(), grad_output.cols()),
             });
         }
-        self.grad_weights = input.transpose().matmul(grad_output)?;
-        self.grad_bias = grad_output.col_sum();
-        grad_output.matmul(&self.weights.transpose())
+        self.cached_input
+            .matmul_transa_into(grad_output, &mut self.grad_weights)?;
+        grad_output.col_sum_into(&mut self.grad_bias);
+        let mut grad_in = ws.take(grad_output.rows(), self.in_dim);
+        grad_output.matmul_transb_into(&self.weights, &mut grad_in)?;
+        Ok(grad_in)
+    }
+
+    fn backward_params_only(
+        &mut self,
+        grad_output: &Matrix,
+        _ws: &mut Workspace,
+    ) -> Result<(), TensorError> {
+        if !self.cache_valid {
+            return Err(TensorError::MissingForwardCache { layer: "dense" });
+        }
+        self.cache_valid = false;
+        if grad_output.cols() != self.out_dim || grad_output.rows() != self.cached_input.rows() {
+            return Err(TensorError::ShapeMismatch {
+                context: "Dense::backward_params_only",
+                expected: (self.cached_input.rows(), self.out_dim),
+                actual: (grad_output.rows(), grad_output.cols()),
+            });
+        }
+        // Identical parameter gradients to `backward`, minus the
+        // `grad · Wᵀ` matmul that a terminal layer's caller discards.
+        self.cached_input
+            .matmul_transa_into(grad_output, &mut self.grad_weights)?;
+        grad_output.col_sum_into(&mut self.grad_bias);
+        Ok(())
     }
 
     fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
@@ -251,18 +332,18 @@ impl Layer for Dense {
         if shoggoth_util::float::is_exact_zero(lr) {
             return;
         }
-        update_with_momentum(
-            &mut self.weights,
-            &self.grad_weights,
-            &mut self.vel_weights,
+        kernels::sgd_momentum_step(
+            self.weights.as_mut_slice(),
+            self.grad_weights.as_slice(),
+            self.vel_weights.as_mut_slice(),
             lr,
             cfg.momentum,
             cfg.weight_decay,
         );
-        update_with_momentum(
-            &mut self.bias,
-            &self.grad_bias,
-            &mut self.vel_bias,
+        kernels::sgd_momentum_step(
+            self.bias.as_mut_slice(),
+            self.grad_bias.as_slice(),
+            self.vel_bias.as_mut_slice(),
             lr,
             cfg.momentum,
             0.0, // bias is conventionally exempt from weight decay
@@ -291,35 +372,26 @@ impl Layer for Dense {
     }
 }
 
-/// SGD-with-momentum update: `v ← m·v − lr·(g + wd·p); p ← p + v`.
-fn update_with_momentum(
-    params: &mut Matrix,
-    grads: &Matrix,
-    velocity: &mut Matrix,
-    lr: f32,
-    momentum: f32,
-    weight_decay: f32,
-) {
-    let p = params.as_mut_slice();
-    let g = grads.as_slice();
-    let v = velocity.as_mut_slice();
-    for i in 0..p.len() {
-        let grad = g[i] + weight_decay * p[i];
-        v[i] = momentum * v[i] - lr * grad;
-        p[i] += v[i];
-    }
-}
-
 /// Rectified linear activation, `max(0, x)`.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Relu {
-    cached_input: Option<Matrix>,
+    cached_input: Matrix,
+    cache_valid: bool,
 }
 
 impl Relu {
     /// Creates the activation.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            cached_input: Matrix::zeros(0, 0),
+            cache_valid: false,
+        }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -332,35 +404,78 @@ impl Layer for Relu {
         "relu"
     }
 
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+    fn forward(
+        &mut self,
+        input: &Matrix,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
         if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
+            self.cached_input.copy_from(input);
+            self.cache_valid = true;
         }
-        Ok(input.map(|v| v.max(0.0)))
+        let mut out = ws.take(input.rows(), input.cols());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = v.max(0.0);
+        }
+        Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
-        let input = self
-            .cached_input
-            .take()
-            .ok_or(TensorError::MissingForwardCache { layer: "relu" })?;
-        let mask = input.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
-        grad_output.hadamard(&mask)
+    fn backward(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        if !self.cache_valid {
+            return Err(TensorError::MissingForwardCache { layer: "relu" });
+        }
+        self.cache_valid = false;
+        if grad_output.rows() != self.cached_input.rows()
+            || grad_output.cols() != self.cached_input.cols()
+        {
+            return Err(TensorError::ShapeMismatch {
+                context: "Relu::backward",
+                expected: (self.cached_input.rows(), self.cached_input.cols()),
+                actual: (grad_output.rows(), grad_output.cols()),
+            });
+        }
+        let mut grad_in = ws.take(grad_output.rows(), grad_output.cols());
+        for ((o, &g), &x) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(self.cached_input.as_slice())
+        {
+            // `g * mask` (not a select) keeps results bit-identical to the
+            // previous hadamard-with-mask formulation.
+            *o = g * if x > 0.0 { 1.0 } else { 0.0 };
+        }
+        Ok(grad_in)
     }
 
     fn apply_update(&mut self, _cfg: &SgdConfig, _lr_scale: f32) {}
 }
 
 /// Hyperbolic-tangent activation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Tanh {
-    cached_output: Option<Matrix>,
+    cached_output: Matrix,
+    cache_valid: bool,
 }
 
 impl Tanh {
     /// Creates the activation.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            cached_output: Matrix::zeros(0, 0),
+            cache_valid: false,
+        }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -373,21 +488,51 @@ impl Layer for Tanh {
         "tanh"
     }
 
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
-        let out = input.map(f32::tanh);
+    fn forward(
+        &mut self,
+        input: &Matrix,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        let mut out = ws.take(input.rows(), input.cols());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            *o = v.tanh();
+        }
         if mode == Mode::Train {
-            self.cached_output = Some(out.clone());
+            self.cached_output.copy_from(&out);
+            self.cache_valid = true;
         }
         Ok(out)
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
-        let out = self
-            .cached_output
-            .take()
-            .ok_or(TensorError::MissingForwardCache { layer: "tanh" })?;
-        let deriv = out.map(|y| 1.0 - y * y);
-        grad_output.hadamard(&deriv)
+    fn backward(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        if !self.cache_valid {
+            return Err(TensorError::MissingForwardCache { layer: "tanh" });
+        }
+        self.cache_valid = false;
+        if grad_output.rows() != self.cached_output.rows()
+            || grad_output.cols() != self.cached_output.cols()
+        {
+            return Err(TensorError::ShapeMismatch {
+                context: "Tanh::backward",
+                expected: (self.cached_output.rows(), self.cached_output.cols()),
+                actual: (grad_output.rows(), grad_output.cols()),
+            });
+        }
+        let mut grad_in = ws.take(grad_output.rows(), grad_output.cols());
+        for ((o, &g), &y) in grad_in
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad_output.as_slice())
+            .zip(self.cached_output.as_slice())
+        {
+            *o = g * (1.0 - y * y);
+        }
+        Ok(grad_in)
     }
 
     fn apply_update(&mut self, _cfg: &SgdConfig, _lr_scale: f32) {}
@@ -401,13 +546,14 @@ mod tests {
     #[test]
     fn dense_forward_hand_checked() {
         let mut rng = Rng::seed_from(0);
+        let mut ws = Workspace::new();
         let mut layer = Dense::new(2, 2, &mut rng);
         let mut cursor_data = vec![1.0, 2.0, 3.0, 4.0, 0.5, -0.5];
         let mut cursor = ParamCursor::new(&cursor_data);
         layer.import_params(&mut cursor).expect("params fit");
         cursor_data.clear();
         let x = Matrix::from_rows(&[&[1.0, 1.0]]).expect("valid");
-        let y = layer.forward(&x, Mode::Eval).expect("shapes");
+        let y = layer.forward(&x, Mode::Eval, &mut ws).expect("shapes");
         // [1,1]·[[1,2],[3,4]] + [0.5,-0.5] = [4.5, 5.5]
         assert_eq!(y.row(0), &[4.5, 5.5]);
     }
@@ -415,18 +561,20 @@ mod tests {
     #[test]
     fn dense_rejects_wrong_input_width() {
         let mut rng = Rng::seed_from(0);
+        let mut ws = Workspace::new();
         let mut layer = Dense::new(3, 2, &mut rng);
         let x = Matrix::zeros(1, 4);
-        assert!(layer.forward(&x, Mode::Eval).is_err());
+        assert!(layer.forward(&x, Mode::Eval, &mut ws).is_err());
     }
 
     #[test]
     fn dense_backward_without_forward_errors() {
         let mut rng = Rng::seed_from(0);
+        let mut ws = Workspace::new();
         let mut layer = Dense::new(2, 2, &mut rng);
         let g = Matrix::zeros(1, 2);
         assert!(matches!(
-            layer.backward(&g),
+            layer.backward(&g, &mut ws),
             Err(TensorError::MissingForwardCache { .. })
         ));
     }
@@ -447,21 +595,23 @@ mod tests {
     #[test]
     fn relu_clamps_and_masks_gradient() {
         let mut relu = Relu::new();
+        let mut ws = Workspace::new();
         let x = Matrix::from_rows(&[&[-1.0, 2.0]]).expect("valid");
-        let y = relu.forward(&x, Mode::Train).expect("shapes");
+        let y = relu.forward(&x, Mode::Train, &mut ws).expect("shapes");
         assert_eq!(y.row(0), &[0.0, 2.0]);
         let g = Matrix::from_rows(&[&[5.0, 5.0]]).expect("valid");
-        let gi = relu.backward(&g).expect("cached");
+        let gi = relu.backward(&g, &mut ws).expect("cached");
         assert_eq!(gi.row(0), &[0.0, 5.0]);
     }
 
     #[test]
     fn tanh_gradient_matches_identity() {
         let mut tanh = Tanh::new();
+        let mut ws = Workspace::new();
         let x = Matrix::from_rows(&[&[0.0]]).expect("valid");
-        tanh.forward(&x, Mode::Train).expect("shapes");
+        tanh.forward(&x, Mode::Train, &mut ws).expect("shapes");
         let g = Matrix::from_rows(&[&[1.0]]).expect("valid");
-        let gi = tanh.backward(&g).expect("cached");
+        let gi = tanh.backward(&g, &mut ws).expect("cached");
         // d tanh(0)/dx = 1
         assert!((gi.get(0, 0) - 1.0).abs() < 1e-6);
     }
@@ -481,13 +631,14 @@ mod tests {
     #[test]
     fn dense_gradient_check() {
         let mut rng = Rng::seed_from(7);
+        let mut ws = Workspace::new();
         let mut layer = Dense::new(3, 2, &mut rng);
         let x = Matrix::from_fn(4, 3, |_, _| rng.next_gaussian_f32(0.0, 1.0));
 
         // Analytic gradients.
-        let y = layer.forward(&x, Mode::Train).expect("shapes");
+        let y = layer.forward(&x, Mode::Train, &mut ws).expect("shapes");
         let grad_out = y.clone(); // dL/dy for L = sum(y^2)/2
-        let grad_in = layer.backward(&grad_out).expect("cached");
+        let grad_in = layer.backward(&grad_out, &mut ws).expect("cached");
 
         // Numeric gradient w.r.t. one input element.
         let eps = 1e-3f32;
@@ -496,8 +647,8 @@ mod tests {
             xp.set(probe.0, probe.1, x.get(probe.0, probe.1) + eps);
             let mut xm = x.clone();
             xm.set(probe.0, probe.1, x.get(probe.0, probe.1) - eps);
-            let loss = |m: &Matrix, layer: &mut Dense| {
-                let y = layer.forward(m, Mode::Eval).expect("shapes");
+            let mut loss = |m: &Matrix, layer: &mut Dense| {
+                let y = layer.forward(m, Mode::Eval, &mut ws).expect("shapes");
                 y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
             };
             let numeric = (loss(&xp, &mut layer) - loss(&xm, &mut layer)) / (2.0 * eps);
@@ -507,5 +658,32 @@ mod tests {
                 "probe {probe:?}: numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    #[test]
+    fn dense_backward_matches_transposing_path() {
+        // The transpose-free kernels must reproduce the textbook
+        // expressions bit-for-bit.
+        let mut rng = Rng::seed_from(11);
+        let mut ws = Workspace::new();
+        let mut layer = Dense::new(5, 3, &mut rng);
+        let x = Matrix::from_fn(7, 5, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let y = layer.forward(&x, Mode::Train, &mut ws).expect("shapes");
+        let g = Matrix::from_fn(7, 3, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let grad_in = layer.backward(&g, &mut ws).expect("cached");
+
+        let ref_out = x
+            .matmul(layer.weights())
+            .and_then(|m| {
+                // Rebuild the bias the layer used.
+                let mut params = Vec::new();
+                layer.export_params(&mut params);
+                let bias = Matrix::from_vec(1, 3, params[15..].to_vec())?;
+                m.add_row_broadcast(&bias)
+            })
+            .expect("shapes");
+        assert_eq!(y, ref_out);
+        let ref_grad_in = g.matmul(&layer.weights().transpose()).expect("shapes");
+        assert_eq!(grad_in, ref_grad_in);
     }
 }

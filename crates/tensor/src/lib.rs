@@ -60,18 +60,21 @@
 //! # Ok::<(), shoggoth_tensor::TensorError>(())
 //! ```
 
+pub mod kernels;
 pub mod layer;
 pub mod losses;
 pub mod matrix;
 pub mod net;
 pub mod norm;
 pub mod sgd;
+pub mod workspace;
 
 pub use layer::{Dense, Layer, Mode, ParamCursor, Relu, Tanh};
 pub use matrix::Matrix;
 pub use net::Mlp;
 pub use norm::{BatchNorm, BatchRenorm};
 pub use sgd::SgdConfig;
+pub use workspace::Workspace;
 
 /// Errors produced by tensor operations.
 #[derive(Debug, Clone, PartialEq)]

@@ -54,6 +54,25 @@ pub fn softmax_cross_entropy(
     logits: &Matrix,
     labels: &[usize],
 ) -> Result<(f32, Matrix), TensorError> {
+    let mut grad = Matrix::zeros(0, 0);
+    let loss = softmax_cross_entropy_into(logits, labels, &mut grad)?;
+    Ok((loss, grad))
+}
+
+/// [`softmax_cross_entropy`] writing the gradient into `grad` (resized,
+/// storage reused) — the allocation-free form for training loops that keep
+/// a persistent gradient matrix. Loss and gradient values are bit-identical
+/// to the allocating form.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `labels.len()` differs from the
+/// number of rows or any label is out of range.
+pub fn softmax_cross_entropy_into(
+    logits: &Matrix,
+    labels: &[usize],
+    grad: &mut Matrix,
+) -> Result<f32, TensorError> {
     if labels.len() != logits.rows() {
         return Err(TensorError::ShapeMismatch {
             context: "losses::softmax_cross_entropy",
@@ -68,17 +87,36 @@ pub fn softmax_cross_entropy(
             actual: (1, bad + 1),
         });
     }
-    let probs = softmax(logits);
+    // Softmax computed directly into `grad` (same per-row recipe as
+    // `softmax`), then turned into the gradient in place.
+    grad.resize_zeroed(logits.rows(), logits.cols());
+    for r in 0..logits.rows() {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        let out_row = grad.row_mut(r);
+        for (o, &v) in out_row.iter_mut().zip(row) {
+            let e = (v - max).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in out_row.iter_mut() {
+            *o *= inv;
+        }
+    }
     let n = logits.rows() as f32;
     let mut loss = 0.0;
-    let mut grad = probs.clone();
     for (r, &label) in labels.iter().enumerate() {
-        let p = probs.get(r, label).max(1e-12);
+        let p = grad.get(r, label).max(1e-12);
         loss -= p.ln();
         grad.set(r, label, grad.get(r, label) - 1.0);
     }
     let loss = loss / n;
-    let grad = grad.scaled(1.0 / n);
+    let inv_n = 1.0 / n;
+    for v in grad.as_mut_slice() {
+        *v *= inv_n;
+    }
     #[cfg(feature = "finite-check")]
     {
         if !loss.is_finite() {
@@ -91,7 +129,7 @@ pub fn softmax_cross_entropy(
         }
         grad.ensure_finite("losses::softmax_cross_entropy")?;
     }
-    Ok((loss, grad))
+    Ok(loss)
 }
 
 /// Mean squared error `mean((pred − target)²)` with gradient w.r.t. `pred`.
@@ -199,6 +237,17 @@ mod tests {
         let logits = Matrix::zeros(2, 3);
         assert!(softmax_cross_entropy(&logits, &[0]).is_err());
         assert!(softmax_cross_entropy(&logits, &[0, 3]).is_err());
+    }
+
+    #[test]
+    fn cross_entropy_into_matches_allocating_form() {
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2], &[2.0, 0.1, -1.0]]).expect("valid");
+        let labels = [2usize, 0];
+        let (loss_a, grad_a) = softmax_cross_entropy(&logits, &labels).expect("shapes");
+        let mut grad_b = Matrix::zeros(5, 1); // wrong shape on purpose: must be resized
+        let loss_b = softmax_cross_entropy_into(&logits, &labels, &mut grad_b).expect("shapes");
+        assert_eq!(loss_a, loss_b);
+        assert_eq!(grad_a, grad_b);
     }
 
     #[test]

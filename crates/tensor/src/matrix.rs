@@ -6,7 +6,7 @@
 //! the networks involved are small (tens of thousands of parameters), so
 //! clarity wins over BLAS-grade tuning.
 
-use crate::TensorError;
+use crate::{kernels, TensorError};
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -105,6 +105,13 @@ impl Matrix {
         })
     }
 
+    /// Assembles a matrix from pre-validated parts — the allocation-free
+    /// construction used by [`crate::Workspace`]. Callers guarantee
+    /// `data.len() == rows * cols`.
+    pub(crate) fn from_parts(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        Self { rows, cols, data }
+    }
+
     /// Creates a matrix by evaluating `f(row, col)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
         let mut data = Vec::with_capacity(rows * cols);
@@ -197,23 +204,177 @@ impl Matrix {
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
         // i-k-j loop order keeps the inner loop contiguous in both `other`
-        // and `out`, which matters even at these sizes.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if shoggoth_util::float::is_exact_zero(a) {
-                    continue;
-                }
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(other_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        // and `out`, which matters even at these sizes. The kernel is
+        // branch-free: dense multiplies no longer pay a per-element
+        // zero-skip test (a sparse-aware entry point can bring it back if
+        // sparsity ever matters).
+        kernels::matmul(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
         #[cfg(feature = "finite-check")]
         out.ensure_finite("Matrix::matmul")?;
         Ok(out)
+    }
+
+    /// Matrix product `self · other`, written into `out` (resized and
+    /// overwritten; its storage is reused).
+    ///
+    /// Bit-identical to [`Matrix::matmul`] — same kernel, no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == other.rows`.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        if self.cols != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                context: "Matrix::matmul_into",
+                expected: (self.cols, other.rows),
+                actual: (other.rows, other.cols),
+            });
+        }
+        out.resize_zeroed(self.rows, other.cols);
+        kernels::matmul(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        #[cfg(feature = "finite-check")]
+        out.ensure_finite("Matrix::matmul_into")?;
+        Ok(())
+    }
+
+    /// Transposed-B product `self · otherᵀ`, written into `out`: the
+    /// backward-pass kernel (`grad_input = grad_output · Wᵀ`) that never
+    /// materializes the transpose. Blocked inner loop; bit-identical to
+    /// `self.matmul(&other.transpose())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == other.cols`.
+    pub fn matmul_transb_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        if self.cols != other.cols {
+            return Err(TensorError::ShapeMismatch {
+                context: "Matrix::matmul_transb_into",
+                expected: (self.rows, self.cols),
+                actual: (other.rows, other.cols),
+            });
+        }
+        out.resize_zeroed(self.rows, other.rows);
+        kernels::matmul_transb(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.rows,
+        );
+        #[cfg(feature = "finite-check")]
+        out.ensure_finite("Matrix::matmul_transb_into")?;
+        Ok(())
+    }
+
+    /// Transposed-A product `selfᵀ · other`, written into `out`: the
+    /// gradient-of-weights kernel (`grad_W = inputᵀ · grad_output`) that
+    /// never materializes the transpose. Bit-identical to
+    /// `self.transpose().matmul(other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.rows == other.rows`.
+    pub fn matmul_transa_into(&self, other: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+        if self.rows != other.rows {
+            return Err(TensorError::ShapeMismatch {
+                context: "Matrix::matmul_transa_into",
+                expected: (self.rows, self.cols),
+                actual: (other.rows, other.cols),
+            });
+        }
+        out.resize_zeroed(self.cols, other.cols);
+        kernels::matmul_transa(
+            &self.data,
+            &other.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            other.cols,
+        );
+        #[cfg(feature = "finite-check")]
+        out.ensure_finite("Matrix::matmul_transa_into")?;
+        Ok(())
+    }
+
+    /// Bias-fused affine map `out = self · weights + bias` (bias is
+    /// `1 × n`, broadcast over rows) — the dense-layer forward kernel.
+    /// Bit-identical to `matmul` followed by `add_row_broadcast`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless
+    /// `self.cols == weights.rows` and `bias` is `1 × weights.cols`.
+    pub fn addmm_into(
+        &self,
+        weights: &Matrix,
+        bias: &Matrix,
+        out: &mut Matrix,
+    ) -> Result<(), TensorError> {
+        if self.cols != weights.rows {
+            return Err(TensorError::ShapeMismatch {
+                context: "Matrix::addmm_into",
+                expected: (self.cols, weights.rows),
+                actual: (weights.rows, weights.cols),
+            });
+        }
+        if bias.rows != 1 || bias.cols != weights.cols {
+            return Err(TensorError::ShapeMismatch {
+                context: "Matrix::addmm_into",
+                expected: (1, weights.cols),
+                actual: (bias.rows, bias.cols),
+            });
+        }
+        out.resize_zeroed(self.rows, weights.cols);
+        kernels::matmul(
+            &self.data,
+            &weights.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            weights.cols,
+        );
+        kernels::add_bias_rows(&mut out.data, &bias.data, self.rows, weights.cols);
+        #[cfg(feature = "finite-check")]
+        out.ensure_finite("Matrix::addmm_into")?;
+        Ok(())
+    }
+
+    /// Reshapes in place to `rows × cols` with every element zero, reusing
+    /// the existing storage (no allocation when capacity suffices). Prior
+    /// contents are discarded.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
+    /// Becomes a copy of `src` (shape and contents), reusing the existing
+    /// storage — the allocation-free replacement for `clone_from` in
+    /// cache-recording paths.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+        self.rows = src.rows;
+        self.cols = src.cols;
     }
 
     /// The transpose of the matrix.
@@ -331,12 +492,19 @@ impl Matrix {
     /// Column-wise sum as a `1 × cols` matrix.
     pub fn col_sum(&self) -> Matrix {
         let mut out = Matrix::zeros(1, self.cols);
+        self.col_sum_into(&mut out);
+        out
+    }
+
+    /// Column-wise sum written into `out` (resized to `1 × cols`, storage
+    /// reused).
+    pub fn col_sum_into(&self, out: &mut Matrix) {
+        out.resize_zeroed(1, self.cols);
         for r in 0..self.rows {
             for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
                 *o += v;
             }
         }
-        out
     }
 
     /// Vertically stacks matrices with identical column counts.
@@ -374,13 +542,23 @@ impl Matrix {
     ///
     /// Panics if the range exceeds the row count.
     pub fn rows_range(&self, range: std::ops::Range<usize>) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.rows_range_into(range, &mut out);
+        out
+    }
+
+    /// Copies rows `range` into `out` (resized, storage reused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the row count.
+    pub fn rows_range_into(&self, range: std::ops::Range<usize>, out: &mut Matrix) {
         assert!(range.end <= self.rows, "row range out of bounds");
-        let data = self.data[range.start * self.cols..range.end * self.cols].to_vec();
-        Matrix {
-            rows: range.len(),
-            cols: self.cols,
-            data,
-        }
+        out.data.clear();
+        out.data
+            .extend_from_slice(&self.data[range.start * self.cols..range.end * self.cols]);
+        out.rows = range.len();
+        out.cols = self.cols;
     }
 
     /// Selects the given rows into a new matrix (rows may repeat).
@@ -389,15 +567,25 @@ impl Matrix {
     ///
     /// Panics if any index is out of bounds.
     pub fn select_rows(&self, indices: &[usize]) -> Matrix {
-        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(indices, &mut out);
+        out
+    }
+
+    /// Selects the given rows into `out` (resized, storage reused; rows
+    /// may repeat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows_into(&self, indices: &[usize], out: &mut Matrix) {
+        out.data.clear();
+        out.data.reserve(indices.len() * self.cols);
         for &i in indices {
-            data.extend_from_slice(self.row(i));
+            out.data.extend_from_slice(self.row(i));
         }
-        Matrix {
-            rows: indices.len(),
-            cols: self.cols,
-            data,
-        }
+        out.rows = indices.len();
+        out.cols = self.cols;
     }
 
     /// The Frobenius norm.

@@ -11,6 +11,7 @@
 //!   the front is frozen, or continue through the front for fresh rows.
 
 use crate::layer::{Layer, Mode, ParamCursor};
+use crate::workspace::Workspace;
 use crate::{Matrix, SgdConfig, TensorError};
 
 /// A sequential feed-forward network.
@@ -35,12 +36,20 @@ use crate::{Matrix, SgdConfig, TensorError};
 #[derive(Debug)]
 pub struct Mlp {
     layers: Vec<Box<dyn Layer>>,
+    /// Scratch-buffer pool all layer outputs are drawn from. Matrices the
+    /// public API returns carry pool buffers; looping callers hand them
+    /// back via [`Mlp::recycle`] so the steady state is allocation-free.
+    ws: Workspace,
 }
 
 impl Clone for Mlp {
     fn clone(&self) -> Self {
         Self {
             layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            // A fresh (empty) workspace: clones are typically shipped
+            // across threads or kept as shadow models, and buffers refill
+            // on first use anyway.
+            ws: Workspace::new(),
         }
     }
 }
@@ -48,7 +57,25 @@ impl Clone for Mlp {
 impl Mlp {
     /// Assembles a network from layers (executed front to back).
     pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
-        Self { layers }
+        Self {
+            layers,
+            ws: Workspace::new(),
+        }
+    }
+
+    /// Returns a matrix previously produced by this network (forward or
+    /// backward output) to the internal workspace for reuse. Optional —
+    /// dropping the matrix is safe — but looping callers that recycle keep
+    /// steady-state training allocation-free.
+    pub fn recycle(&mut self, m: Matrix) {
+        self.ws.give(m);
+    }
+
+    /// Fresh heap allocations the internal workspace has performed. Flat
+    /// across training iterations ⇔ the hot loop is allocation-free (what
+    /// the workspace-reuse tests assert).
+    pub fn workspace_allocations(&self) -> usize {
+        self.ws.allocations()
     }
 
     /// Number of layers.
@@ -91,13 +118,27 @@ impl Mlp {
         mode: Mode,
     ) -> Result<Matrix, TensorError> {
         assert!(range.end <= self.layers.len(), "layer range out of bounds");
-        let mut x = input.clone();
-        for layer in &mut self.layers[range] {
-            x = layer.forward(&x, mode)?;
-            #[cfg(feature = "finite-check")]
-            x.ensure_finite(layer.name())?;
+        let Self { layers, ws } = self;
+        let slice = &mut layers[range];
+        // An empty range is an identity map; the copy still comes from the
+        // workspace so the caller can recycle it uniformly.
+        if slice.is_empty() {
+            let mut out = ws.take(input.rows(), input.cols());
+            out.copy_from(input);
+            return Ok(out);
         }
-        Ok(x)
+        let mut current = slice[0].forward(input, mode, ws)?;
+        #[cfg(feature = "finite-check")]
+        current.ensure_finite(slice[0].name())?;
+        for layer in &mut slice[1..] {
+            let next = layer.forward(&current, mode, ws)?;
+            #[cfg(feature = "finite-check")]
+            next.ensure_finite(layer.name())?;
+            // The intermediate has been consumed; its buffer goes straight
+            // back to the pool.
+            ws.give(std::mem::replace(&mut current, next));
+        }
+        Ok(current)
     }
 
     /// Forward pass starting at layer `start` — this is how replay
@@ -134,6 +175,58 @@ impl Mlp {
         self.backward_range(0..self.layers.len(), grad_output)
     }
 
+    /// Full backward pass for callers that only want parameter gradients:
+    /// the bottom layer skips computing ∂loss/∂input (for [`crate::Dense`],
+    /// one whole `grad · Wᵀ` matmul), which a training loop discards
+    /// anyway. Parameter gradients are bit-identical to [`Mlp::backward`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer cache/shape errors.
+    pub fn backward_discard(&mut self, grad_output: &Matrix) -> Result<(), TensorError> {
+        self.backward_range_discard(0..self.layers.len(), grad_output)
+    }
+
+    /// [`Mlp::backward_range`] without the returned input gradient: the
+    /// layer at `range.start` records its parameter gradients via
+    /// [`Layer::backward_params_only`] and the pass stops there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer cache/shape errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the layer count.
+    pub fn backward_range_discard(
+        &mut self,
+        range: std::ops::Range<usize>,
+        grad_output: &Matrix,
+    ) -> Result<(), TensorError> {
+        assert!(range.end <= self.layers.len(), "layer range out of bounds");
+        let Self { layers, ws } = self;
+        let slice = &mut layers[range];
+        let Some((bottom, rest)) = slice.split_first_mut() else {
+            return Ok(());
+        };
+        if rest.is_empty() {
+            return bottom.backward_params_only(grad_output, ws);
+        }
+        let last = rest.len() - 1;
+        let mut current = rest[last].backward(grad_output, ws)?;
+        #[cfg(feature = "finite-check")]
+        current.ensure_finite(rest[last].name())?;
+        for layer in rest[..last].iter_mut().rev() {
+            let next = layer.backward(&current, ws)?;
+            #[cfg(feature = "finite-check")]
+            next.ensure_finite(layer.name())?;
+            ws.give(std::mem::replace(&mut current, next));
+        }
+        bottom.backward_params_only(&current, ws)?;
+        ws.give(current);
+        Ok(())
+    }
+
     /// Backward pass through layers `range` (processed back to front);
     /// returns the gradient w.r.t. the input of layer `range.start`.
     ///
@@ -153,13 +246,24 @@ impl Mlp {
         grad_output: &Matrix,
     ) -> Result<Matrix, TensorError> {
         assert!(range.end <= self.layers.len(), "layer range out of bounds");
-        let mut g = grad_output.clone();
-        for layer in self.layers[range].iter_mut().rev() {
-            g = layer.backward(&g)?;
-            #[cfg(feature = "finite-check")]
-            g.ensure_finite(layer.name())?;
+        let Self { layers, ws } = self;
+        let slice = &mut layers[range];
+        if slice.is_empty() {
+            let mut out = ws.take(grad_output.rows(), grad_output.cols());
+            out.copy_from(grad_output);
+            return Ok(out);
         }
-        Ok(g)
+        let last = slice.len() - 1;
+        let mut current = slice[last].backward(grad_output, ws)?;
+        #[cfg(feature = "finite-check")]
+        current.ensure_finite(slice[last].name())?;
+        for layer in slice[..last].iter_mut().rev() {
+            let next = layer.backward(&current, ws)?;
+            #[cfg(feature = "finite-check")]
+            next.ensure_finite(layer.name())?;
+            ws.give(std::mem::replace(&mut current, next));
+        }
+        Ok(current)
     }
 
     /// Applies accumulated gradients to every layer with a uniform learning
@@ -337,6 +441,38 @@ mod tests {
     }
 
     #[test]
+    fn backward_discard_updates_params_bit_identically() {
+        let mut rng = Rng::seed_from(11);
+        let mut full = small_net(&mut rng);
+        let mut discard = full.clone();
+        let x = Matrix::from_fn(6, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let labels: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let sgd = SgdConfig::new(0.05)
+            .with_momentum(0.9)
+            .with_weight_decay(1e-4);
+        for _ in 0..3 {
+            let logits = full.forward(&x, Mode::Train).expect("shapes");
+            let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+            full.backward(&grad).expect("cached");
+            full.step(&sgd).expect("finite params");
+
+            let logits = discard.forward(&x, Mode::Train).expect("shapes");
+            let (_, grad) = losses::softmax_cross_entropy(&logits, &labels).expect("shapes");
+            discard.backward_discard(&grad).expect("cached");
+            discard.step(&sgd).expect("finite params");
+        }
+        assert_eq!(full.export_weights(), discard.export_weights());
+    }
+
+    #[test]
+    fn backward_discard_requires_forward_cache() {
+        let mut rng = Rng::seed_from(12);
+        let mut net = small_net(&mut rng);
+        let grad = Matrix::zeros(2, 3);
+        assert!(net.backward_discard(&grad).is_err());
+    }
+
+    #[test]
     fn frozen_layers_do_not_move() {
         let mut rng = Rng::seed_from(3);
         let mut net = small_net(&mut rng);
@@ -401,6 +537,57 @@ mod tests {
         // The clone must be unaffected by training the original.
         assert_ne!(net.export_weights(), copy.export_weights());
         let _ = copy.forward(&x, Mode::Eval).expect("clone still works");
+    }
+
+    #[test]
+    fn steady_state_training_is_allocation_free() {
+        // The acceptance test for the workspace design: after warm-up, a
+        // full forward/loss/backward/step cycle must perform zero fresh
+        // heap allocations on the tensor path.
+        let mut rng = Rng::seed_from(10);
+        let mut net = Mlp::new(vec![
+            Box::new(Dense::new(4, 16, &mut rng)),
+            Box::new(BatchRenorm::new(16)),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(16, 3, &mut rng)),
+        ]);
+        let x = Matrix::from_fn(8, 4, |_, _| rng.next_gaussian_f32(0.0, 1.0));
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let sgd = SgdConfig::new(0.05).with_momentum(0.9);
+        let mut grad = Matrix::zeros(0, 0);
+        let train_step = |net: &mut Mlp, grad: &mut Matrix| {
+            let logits = net.forward(&x, Mode::Train).expect("shapes");
+            losses::softmax_cross_entropy_into(&logits, &labels, grad).expect("shapes");
+            net.recycle(logits);
+            let grad_in = net.backward(grad).expect("cached");
+            net.recycle(grad_in);
+            net.step(&sgd).expect("finite params");
+        };
+        for _ in 0..3 {
+            train_step(&mut net, &mut grad);
+        }
+        let baseline = net.workspace_allocations();
+        for _ in 0..20 {
+            train_step(&mut net, &mut grad);
+        }
+        assert_eq!(
+            net.workspace_allocations(),
+            baseline,
+            "training hot loop allocated fresh tensor buffers"
+        );
+    }
+
+    #[test]
+    fn recycled_buffers_are_reused_across_calls() {
+        let mut rng = Rng::seed_from(11);
+        let mut net = small_net(&mut rng);
+        let x = Matrix::zeros(6, 4);
+        let y = net.forward(&x, Mode::Eval).expect("shapes");
+        net.recycle(y);
+        let before = net.workspace_allocations();
+        let y = net.forward(&x, Mode::Eval).expect("shapes");
+        net.recycle(y);
+        assert_eq!(net.workspace_allocations(), before);
     }
 
     #[test]

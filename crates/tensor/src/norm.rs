@@ -9,9 +9,13 @@
 //!
 //! Both layers share the affine `γ`/`β` parameters and running-moment
 //! machinery; they differ only in the train-time normalization statistics.
+//! All per-call scratch (batch moments, effective scale/shift, backward σ)
+//! lives in persistent vectors overwritten in place, so steady-state
+//! training through these layers performs no heap allocation.
 
 use crate::layer::{Layer, Mode, ParamCursor};
-use crate::{Matrix, SgdConfig, TensorError};
+use crate::workspace::Workspace;
+use crate::{kernels, Matrix, SgdConfig, TensorError};
 
 const EPS: f32 = 1e-5;
 
@@ -29,12 +33,25 @@ struct NormCore {
     running_var: Vec<f32>,
     /// Momentum of the running-moment EMA update.
     stat_momentum: f32,
-    /// Cache for backward: normalized activations `x̂`.
-    cached_xhat: Option<Matrix>,
+    /// Cache for backward: normalized activations `x̂` (persistent storage,
+    /// overwritten each train-mode forward).
+    cached_xhat: Matrix,
     /// Cache for backward: centered inputs `x - μ_B`.
-    cached_centered: Option<Matrix>,
+    cached_centered: Matrix,
     /// Cache for backward: per-feature `r / σ_B` effective scale.
-    cached_scale: Option<Vec<f32>>,
+    cached_scale: Vec<f32>,
+    /// Whether the caches hold a live train-mode forward pass.
+    cache_valid: bool,
+    /// Scratch: per-feature batch mean (or running mean in eval).
+    stat_mean: Vec<f32>,
+    /// Scratch: per-feature biased batch variance.
+    stat_var: Vec<f32>,
+    /// Scratch: per-feature normalization scale.
+    stat_scale: Vec<f32>,
+    /// Scratch: per-feature normalization shift (BRN's `d`; zero for BN).
+    stat_shift: Vec<f32>,
+    /// Scratch: per-feature σ_B recomputed during backward.
+    stat_sigma: Vec<f32>,
 }
 
 impl NormCore {
@@ -51,9 +68,15 @@ impl NormCore {
             running_mean: vec![0.0; dim],
             running_var: vec![1.0; dim],
             stat_momentum: 0.1,
-            cached_xhat: None,
-            cached_centered: None,
-            cached_scale: None,
+            cached_xhat: Matrix::zeros(0, 0),
+            cached_centered: Matrix::zeros(0, 0),
+            cached_scale: Vec::new(),
+            cache_valid: false,
+            stat_mean: Vec::new(),
+            stat_var: Vec::new(),
+            stat_scale: Vec::new(),
+            stat_shift: Vec::new(),
+            stat_sigma: Vec::new(),
         }
     }
 
@@ -68,67 +91,92 @@ impl NormCore {
         Ok(())
     }
 
-    /// Per-feature batch mean and (biased) variance.
-    fn batch_moments(&self, input: &Matrix) -> (Vec<f32>, Vec<f32>) {
+    /// Per-feature batch mean and (biased) variance, written into
+    /// `stat_mean` / `stat_var`.
+    fn batch_moments(&mut self, input: &Matrix) {
         let n = input.rows().max(1) as f32;
-        let mut mean = vec![0.0f32; self.dim];
+        self.stat_mean.clear();
+        self.stat_mean.resize(self.dim, 0.0);
         for r in 0..input.rows() {
-            for (m, &v) in mean.iter_mut().zip(input.row(r)) {
+            for (m, &v) in self.stat_mean.iter_mut().zip(input.row(r)) {
                 *m += v;
             }
         }
-        for m in &mut mean {
+        for m in &mut self.stat_mean {
             *m /= n;
         }
-        let mut var = vec![0.0f32; self.dim];
+        self.stat_var.clear();
+        self.stat_var.resize(self.dim, 0.0);
         for r in 0..input.rows() {
-            for ((v, &x), &m) in var.iter_mut().zip(input.row(r)).zip(&mean) {
+            for ((v, &x), &m) in self
+                .stat_var
+                .iter_mut()
+                .zip(input.row(r))
+                .zip(&self.stat_mean)
+            {
                 let d = x - m;
                 *v += d * d;
             }
         }
-        for v in &mut var {
+        for v in &mut self.stat_var {
             *v /= n;
         }
-        (mean, var)
     }
 
-    fn update_running(&mut self, mean: &[f32], var: &[f32]) {
+    /// Loads eval-mode statistics (running moments) into the scratch stats.
+    fn load_eval_stats(&mut self) {
+        self.stat_mean.clear();
+        self.stat_mean.extend_from_slice(&self.running_mean);
+        self.stat_scale.clear();
+        self.stat_scale
+            .extend(self.running_var.iter().map(|&v| 1.0 / (v + EPS).sqrt()));
+        self.stat_shift.clear();
+        self.stat_shift.resize(self.dim, 0.0);
+    }
+
+    fn update_running(&mut self) {
         let m = self.stat_momentum;
         for i in 0..self.dim {
-            self.running_mean[i] = (1.0 - m) * self.running_mean[i] + m * mean[i];
-            self.running_var[i] = (1.0 - m) * self.running_var[i] + m * var[i];
+            self.running_mean[i] = (1.0 - m) * self.running_mean[i] + m * self.stat_mean[i];
+            self.running_var[i] = (1.0 - m) * self.running_var[i] + m * self.stat_var[i];
         }
     }
 
-    /// Normalizes with explicit per-feature scale and shift:
+    /// Normalizes with the scratch per-feature stats:
     /// `x̂ = (x − μ) * scale + shift`, then `y = γ·x̂ + β`.
     /// Caches everything `backward` needs when `cache` is set.
-    fn normalize(
-        &mut self,
-        input: &Matrix,
-        mean: &[f32],
-        scale: &[f32],
-        shift: &[f32],
-        cache: bool,
-    ) -> Matrix {
+    fn normalize_from_stats(&mut self, input: &Matrix, cache: bool, ws: &mut Workspace) -> Matrix {
         let rows = input.rows();
-        let mut centered = Matrix::zeros(rows, self.dim);
-        let mut xhat = Matrix::zeros(rows, self.dim);
-        let mut out = Matrix::zeros(rows, self.dim);
-        for r in 0..rows {
-            for c in 0..self.dim {
-                let cen = input.get(r, c) - mean[c];
-                let xh = cen * scale[c] + shift[c];
-                centered.set(r, c, cen);
-                xhat.set(r, c, xh);
-                out.set(r, c, self.gamma.get(0, c) * xh + self.beta.get(0, c));
-            }
-        }
+        let dim = self.dim;
+        let mut out = ws.take(rows, dim);
         if cache {
-            self.cached_xhat = Some(xhat);
-            self.cached_centered = Some(centered);
-            self.cached_scale = Some(scale.to_vec());
+            self.cached_centered.resize_zeroed(rows, dim);
+            self.cached_xhat.resize_zeroed(rows, dim);
+            self.cached_scale.clear();
+            self.cached_scale.extend_from_slice(&self.stat_scale);
+            self.cache_valid = true;
+        }
+        for r in 0..rows {
+            let in_row = input.row(r);
+            let out_row = out.row_mut(r);
+            for (c, (&x, o)) in in_row.iter().zip(out_row.iter_mut()).enumerate() {
+                let cen = x - self.stat_mean[c];
+                let xh = cen * self.stat_scale[c] + self.stat_shift[c];
+                *o = self.gamma.as_slice()[c] * xh + self.beta.as_slice()[c];
+            }
+            if cache {
+                let centered_row = self.cached_centered.row_mut(r);
+                let xhat_row = self.cached_xhat.row_mut(r);
+                for (c, (&x, (cen_o, xh_o))) in in_row
+                    .iter()
+                    .zip(centered_row.iter_mut().zip(xhat_row.iter_mut()))
+                    .enumerate()
+                {
+                    let cen = x - self.stat_mean[c];
+                    *cen_o = cen;
+                    *xh_o = cen * self.stat_scale[c] + self.stat_shift[c];
+                }
+            }
         }
         out
     }
@@ -143,40 +191,33 @@ impl NormCore {
     ///
     /// where `ĝ = γ ⊙ dL/dy` and `x̂_c = centered/σ_B` is the *uncorrected*
     /// normalized input.
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
-        let xhat = self
-            .cached_xhat
-            .take()
-            .ok_or(TensorError::MissingForwardCache {
+    fn backward(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        if !self.cache_valid {
+            return Err(TensorError::MissingForwardCache {
                 layer: "batch-norm",
-            })?;
-        let centered = self
-            .cached_centered
-            .take()
-            .ok_or(TensorError::MissingForwardCache {
-                layer: "batch-norm",
-            })?;
-        let scale = self
-            .cached_scale
-            .take()
-            .ok_or(TensorError::MissingForwardCache {
-                layer: "batch-norm",
-            })?;
-        if grad_output.rows() != xhat.rows() || grad_output.cols() != self.dim {
+            });
+        }
+        self.cache_valid = false;
+        if grad_output.rows() != self.cached_xhat.rows() || grad_output.cols() != self.dim {
             return Err(TensorError::ShapeMismatch {
                 context: "NormCore::backward",
-                expected: (xhat.rows(), self.dim),
+                expected: (self.cached_xhat.rows(), self.dim),
                 actual: (grad_output.rows(), grad_output.cols()),
             });
         }
-        let n = xhat.rows() as f32;
+        let rows = self.cached_xhat.rows();
+        let n = rows as f32;
 
         // Parameter gradients.
         for c in 0..self.dim {
             let mut gg = 0.0;
             let mut gb = 0.0;
-            for r in 0..xhat.rows() {
-                gg += grad_output.get(r, c) * xhat.get(r, c);
+            for r in 0..rows {
+                gg += grad_output.get(r, c) * self.cached_xhat.get(r, c);
                 gb += grad_output.get(r, c);
             }
             self.grad_gamma.set(0, c, gg);
@@ -188,34 +229,35 @@ impl NormCore {
         // cached `r/σ_B` directly, and the gradient formula needs the
         // *uncorrected* normalized value `centered/σ_B`. We recompute σ_B
         // from the centered cache, which is exact.
-        let mut sigma = vec![0.0f32; self.dim];
-        for (c, s) in sigma.iter_mut().enumerate() {
+        self.stat_sigma.clear();
+        self.stat_sigma.resize(self.dim, 0.0);
+        for (c, s) in self.stat_sigma.iter_mut().enumerate() {
             let mut v = 0.0;
-            for r in 0..centered.rows() {
-                let d = centered.get(r, c);
+            for r in 0..rows {
+                let d = self.cached_centered.get(r, c);
                 v += d * d;
             }
             *s = (v / n + EPS).sqrt();
         }
 
-        let mut grad_in = Matrix::zeros(xhat.rows(), self.dim);
+        let mut grad_in = ws.take(rows, self.dim);
         for c in 0..self.dim {
             let gamma = self.gamma.get(0, c);
             // ĝ statistics over the batch.
             let mut mean_g = 0.0;
             let mut mean_gx = 0.0;
-            for r in 0..xhat.rows() {
+            for r in 0..rows {
                 let ghat = gamma * grad_output.get(r, c);
-                let xc = centered.get(r, c) / sigma[c];
+                let xc = self.cached_centered.get(r, c) / self.stat_sigma[c];
                 mean_g += ghat;
                 mean_gx += ghat * xc;
             }
             mean_g /= n;
             mean_gx /= n;
-            for r in 0..xhat.rows() {
+            for r in 0..rows {
                 let ghat = gamma * grad_output.get(r, c);
-                let xc = centered.get(r, c) / sigma[c];
-                grad_in.set(r, c, scale[c] * (ghat - mean_g - xc * mean_gx));
+                let xc = self.cached_centered.get(r, c) / self.stat_sigma[c];
+                grad_in.set(r, c, self.cached_scale[c] * (ghat - mean_g - xc * mean_gx));
             }
         }
         Ok(grad_in)
@@ -226,18 +268,22 @@ impl NormCore {
         if shoggoth_util::float::is_exact_zero(lr) {
             return;
         }
-        for (params, grads, vel) in [
-            (&mut self.gamma, &self.grad_gamma, &mut self.vel_gamma),
-            (&mut self.beta, &self.grad_beta, &mut self.vel_beta),
-        ] {
-            let p = params.as_mut_slice();
-            let g = grads.as_slice();
-            let v = vel.as_mut_slice();
-            for i in 0..p.len() {
-                v[i] = cfg.momentum * v[i] - lr * g[i];
-                p[i] += v[i];
-            }
-        }
+        kernels::sgd_momentum_step(
+            self.gamma.as_mut_slice(),
+            self.grad_gamma.as_slice(),
+            self.vel_gamma.as_mut_slice(),
+            lr,
+            cfg.momentum,
+            0.0, // γ/β are exempt from weight decay
+        );
+        kernels::sgd_momentum_step(
+            self.beta.as_mut_slice(),
+            self.grad_beta.as_slice(),
+            self.vel_beta.as_mut_slice(),
+            lr,
+            cfg.momentum,
+            0.0,
+        );
     }
 
     fn export_params(&self, out: &mut Vec<f32>) {
@@ -305,33 +351,39 @@ impl Layer for BatchNorm {
         "batch-norm"
     }
 
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+    fn forward(
+        &mut self,
+        input: &Matrix,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
         self.core.check_width(input, "BatchNorm::forward")?;
         match mode {
             Mode::Train => {
-                let (mean, var) = self.core.batch_moments(input);
-                let scale: Vec<f32> = var.iter().map(|&v| 1.0 / (v + EPS).sqrt()).collect();
-                let shift = vec![0.0; self.core.dim];
-                let out = self.core.normalize(input, &mean, &scale, &shift, true);
-                self.core.update_running(&mean, &var);
+                self.core.batch_moments(input);
+                let core = &mut self.core;
+                core.stat_scale.clear();
+                core.stat_scale
+                    .extend(core.stat_var.iter().map(|&v| 1.0 / (v + EPS).sqrt()));
+                core.stat_shift.clear();
+                core.stat_shift.resize(core.dim, 0.0);
+                let out = core.normalize_from_stats(input, true, ws);
+                core.update_running();
                 Ok(out)
             }
             Mode::Eval => {
-                let mean = self.core.running_mean.clone();
-                let scale: Vec<f32> = self
-                    .core
-                    .running_var
-                    .iter()
-                    .map(|&v| 1.0 / (v + EPS).sqrt())
-                    .collect();
-                let shift = vec![0.0; self.core.dim];
-                Ok(self.core.normalize(input, &mean, &scale, &shift, false))
+                self.core.load_eval_stats();
+                Ok(self.core.normalize_from_stats(input, false, ws))
             }
         }
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
-        self.core.backward(grad_output)
+    fn backward(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        self.core.backward(grad_output, ws)
     }
 
     fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
@@ -408,43 +460,45 @@ impl Layer for BatchRenorm {
         "batch-renorm"
     }
 
-    fn forward(&mut self, input: &Matrix, mode: Mode) -> Result<Matrix, TensorError> {
+    fn forward(
+        &mut self,
+        input: &Matrix,
+        mode: Mode,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
         self.core.check_width(input, "BatchRenorm::forward")?;
         match mode {
             Mode::Train => {
-                let (mean, var) = self.core.batch_moments(input);
-                let dim = self.core.dim;
-                let mut scale = vec![0.0f32; dim];
-                let mut shift = vec![0.0f32; dim];
-                for c in 0..dim {
-                    let sigma_b = (var[c] + EPS).sqrt();
-                    let sigma_run = (self.core.running_var[c] + EPS).sqrt();
+                self.core.batch_moments(input);
+                let core = &mut self.core;
+                core.stat_scale.clear();
+                core.stat_shift.clear();
+                for c in 0..core.dim {
+                    let sigma_b = (core.stat_var[c] + EPS).sqrt();
+                    let sigma_run = (core.running_var[c] + EPS).sqrt();
                     let r = (sigma_b / sigma_run).clamp(1.0 / self.r_max, self.r_max);
-                    let d = ((mean[c] - self.core.running_mean[c]) / sigma_run)
+                    let d = ((core.stat_mean[c] - core.running_mean[c]) / sigma_run)
                         .clamp(-self.d_max, self.d_max);
-                    scale[c] = r / sigma_b;
-                    shift[c] = d;
+                    core.stat_scale.push(r / sigma_b);
+                    core.stat_shift.push(d);
                 }
-                let out = self.core.normalize(input, &mean, &scale, &shift, true);
-                self.core.update_running(&mean, &var);
+                let out = core.normalize_from_stats(input, true, ws);
+                core.update_running();
                 Ok(out)
             }
             Mode::Eval => {
-                let mean = self.core.running_mean.clone();
-                let scale: Vec<f32> = self
-                    .core
-                    .running_var
-                    .iter()
-                    .map(|&v| 1.0 / (v + EPS).sqrt())
-                    .collect();
-                let shift = vec![0.0; self.core.dim];
-                Ok(self.core.normalize(input, &mean, &scale, &shift, false))
+                self.core.load_eval_stats();
+                Ok(self.core.normalize_from_stats(input, false, ws))
             }
         }
     }
 
-    fn backward(&mut self, grad_output: &Matrix) -> Result<Matrix, TensorError> {
-        self.core.backward(grad_output)
+    fn backward(
+        &mut self,
+        grad_output: &Matrix,
+        ws: &mut Workspace,
+    ) -> Result<Matrix, TensorError> {
+        self.core.backward(grad_output, ws)
     }
 
     fn apply_update(&mut self, cfg: &SgdConfig, lr_scale: f32) {
@@ -476,9 +530,10 @@ mod tests {
     #[test]
     fn batchnorm_train_output_is_standardized() {
         let mut rng = Rng::seed_from(0);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(4);
         let x = gaussian_batch(&mut rng, 256, 4, 5.0, 2.0);
-        let y = bn.forward(&x, Mode::Train).expect("shapes");
+        let y = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
         let mean = y.col_mean();
         for c in 0..4 {
             assert!(mean.get(0, c).abs() < 1e-4, "column mean not ~0");
@@ -497,10 +552,12 @@ mod tests {
     #[test]
     fn batchnorm_running_stats_converge() {
         let mut rng = Rng::seed_from(1);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(2);
         for _ in 0..400 {
             let x = gaussian_batch(&mut rng, 64, 2, 3.0, 1.5);
-            bn.forward(&x, Mode::Train).expect("shapes");
+            let out = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            ws.give(out);
         }
         assert!((bn.running_mean()[0] - 3.0).abs() < 0.2);
         assert!((bn.running_var()[0] - 2.25).abs() < 0.4);
@@ -509,15 +566,17 @@ mod tests {
     #[test]
     fn batchnorm_eval_uses_running_moments() {
         let mut rng = Rng::seed_from(2);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(1);
         for _ in 0..300 {
             let x = gaussian_batch(&mut rng, 64, 1, 10.0, 1.0);
-            bn.forward(&x, Mode::Train).expect("shapes");
+            let out = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            ws.give(out);
         }
         // A single far-off sample in eval mode should be normalized with the
         // learned moments, not its own (degenerate) batch statistics.
         let x = Matrix::from_rows(&[&[10.0]]).expect("valid");
-        let y = bn.forward(&x, Mode::Eval).expect("shapes");
+        let y = bn.forward(&x, Mode::Eval, &mut ws).expect("shapes");
         assert!(y.get(0, 0).abs() < 0.3, "got {}", y.get(0, 0));
     }
 
@@ -526,24 +585,27 @@ mod tests {
         // Once the running stats equal the batch stats, r = 1 and d = 0, so
         // BRN must reproduce BN exactly.
         let mut rng = Rng::seed_from(3);
+        let mut ws = Workspace::new();
         let mut brn = BatchRenorm::new(2);
         let mut bn = BatchNorm::new(2);
         for _ in 0..600 {
             let x = gaussian_batch(&mut rng, 128, 2, 0.0, 1.0);
-            brn.forward(&x, Mode::Train).expect("shapes");
-            bn.forward(&x, Mode::Train).expect("shapes");
+            let a = brn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            ws.give(a);
+            let b = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            ws.give(b);
         }
         let x = gaussian_batch(&mut rng, 128, 2, 0.0, 1.0);
         // Eval mode uses running moments for both layers: outputs agree to
         // the extent the learned moments agree.
-        let yb = bn.forward(&x, Mode::Eval).expect("shapes");
-        let yr = brn.forward(&x, Mode::Eval).expect("shapes");
+        let yb = bn.forward(&x, Mode::Eval, &mut ws).expect("shapes");
+        let yr = brn.forward(&x, Mode::Eval, &mut ws).expect("shapes");
         let rel = yb.sub(&yr).expect("shapes").frobenius_norm() / yb.frobenius_norm();
         assert!(rel < 0.05, "BN and BRN eval outputs diverge: {rel}");
         // Train mode: BRN normalizes by the running σ (r/σ_B = 1/σ_run)
         // while BN uses the batch σ, so agreement is approximate.
-        let yb = bn.forward(&x, Mode::Train).expect("shapes");
-        let yr = brn.forward(&x, Mode::Train).expect("shapes");
+        let yb = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+        let yr = brn.forward(&x, Mode::Train, &mut ws).expect("shapes");
         let rel = yb.sub(&yr).expect("shapes").frobenius_norm() / yb.frobenius_norm();
         assert!(rel < 0.15, "BN and BRN train outputs diverge: {rel}");
     }
@@ -553,13 +615,15 @@ mod tests {
         // Feed a drastically shifted batch: the d correction must be clipped
         // at d_max, keeping outputs bounded instead of exploding.
         let mut rng = Rng::seed_from(4);
+        let mut ws = Workspace::new();
         let mut brn = BatchRenorm::new(1).with_clip(2.0, 1.0);
         for _ in 0..100 {
             let x = gaussian_batch(&mut rng, 64, 1, 0.0, 1.0);
-            brn.forward(&x, Mode::Train).expect("shapes");
+            let out = brn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            ws.give(out);
         }
         let shifted = gaussian_batch(&mut rng, 64, 1, 50.0, 1.0);
-        let y = brn.forward(&shifted, Mode::Train).expect("shapes");
+        let y = brn.forward(&shifted, Mode::Train, &mut ws).expect("shapes");
         // Without clipping, the shift term would be ~50; with d_max = 1 the
         // output stays near the standardized batch plus at most 1.
         let max = y.as_slice().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
@@ -569,17 +633,18 @@ mod tests {
     #[test]
     fn batchnorm_gradient_check() {
         let mut rng = Rng::seed_from(5);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(3);
         let x = gaussian_batch(&mut rng, 8, 3, 1.0, 2.0);
-        let y = bn.forward(&x, Mode::Train).expect("shapes");
+        let y = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
         let grad_out = y.clone(); // L = sum(y^2)/2
-        let grad_in = bn.backward(&grad_out).expect("cached");
+        let grad_in = bn.backward(&grad_out, &mut ws).expect("cached");
 
         let eps = 1e-2f32;
-        let loss = |m: &Matrix, bn: &mut BatchNorm| {
+        let mut loss = |m: &Matrix, bn: &mut BatchNorm| {
             // Use a fresh clone so running stats are not perturbed between
             // probes; forward in Train mode to use batch statistics.
-            let y = bn.forward(m, Mode::Train).expect("shapes");
+            let y = bn.forward(m, Mode::Train, &mut ws).expect("shapes");
             y.as_slice().iter().map(|v| v * v).sum::<f32>() / 2.0
         };
         for probe in [(0usize, 0usize), (4, 1), (7, 2)] {
@@ -603,10 +668,12 @@ mod tests {
     #[test]
     fn norm_export_import_round_trip() {
         let mut rng = Rng::seed_from(6);
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm::new(3);
         for _ in 0..10 {
             let x = gaussian_batch(&mut rng, 32, 3, 2.0, 1.0);
-            bn.forward(&x, Mode::Train).expect("shapes");
+            let out = bn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            ws.give(out);
         }
         let mut buf = Vec::new();
         bn.export_params(&mut buf);
@@ -620,9 +687,33 @@ mod tests {
     #[test]
     fn backward_without_forward_errors() {
         let mut bn = BatchNorm::new(2);
+        let mut ws = Workspace::new();
         assert!(matches!(
-            bn.backward(&Matrix::zeros(1, 2)),
+            bn.backward(&Matrix::zeros(1, 2), &mut ws),
             Err(TensorError::MissingForwardCache { .. })
         ));
+    }
+
+    #[test]
+    fn steady_state_norm_training_does_not_allocate() {
+        let mut rng = Rng::seed_from(8);
+        let mut ws = Workspace::new();
+        let mut brn = BatchRenorm::new(4);
+        let x = gaussian_batch(&mut rng, 16, 4, 0.0, 1.0);
+        // Warm up caches and workspace.
+        for _ in 0..3 {
+            let y = brn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            let g = brn.backward(&y, &mut ws).expect("cached");
+            ws.give(y);
+            ws.give(g);
+        }
+        let baseline = ws.allocations();
+        for _ in 0..10 {
+            let y = brn.forward(&x, Mode::Train, &mut ws).expect("shapes");
+            let g = brn.backward(&y, &mut ws).expect("cached");
+            ws.give(y);
+            ws.give(g);
+        }
+        assert_eq!(ws.allocations(), baseline, "norm hot loop allocated");
     }
 }

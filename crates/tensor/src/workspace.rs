@@ -1,0 +1,141 @@
+//! Reusable scratch-matrix pool for allocation-free training.
+//!
+//! A [`Workspace`] owns a free list of `Vec<f32>` buffers. Layers take
+//! their output matrices from the workspace ([`Workspace::take`]) and the
+//! owning [`crate::Mlp`] gives intermediate activations back
+//! ([`Workspace::give`]) as soon as the next layer has consumed them, so
+//! a steady-state forward/backward/step cycle recycles the same handful
+//! of buffers forever.
+//!
+//! Ownership rules (see DESIGN.md §Performance architecture):
+//!
+//! * the network owns the workspace; callers never construct one;
+//! * matrices returned by `Mlp` forward/backward entry points carry
+//!   workspace buffers — callers that loop should hand them back via
+//!   [`crate::Mlp::recycle`] to keep the steady state allocation-free;
+//! * dropping such a matrix is always safe; it merely costs the pool one
+//!   buffer, which the next `take` re-allocates.
+//!
+//! [`Workspace::allocations`] counts every fresh heap allocation (new
+//! buffer or capacity growth), which is what the workspace-reuse tests
+//! assert goes flat after warm-up.
+
+use crate::Matrix;
+
+/// A pool of reusable `f32` buffers handed out as [`Matrix`] values.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Returned buffers, available for reuse.
+    free: Vec<Vec<f32>>,
+    /// Fresh heap allocations performed (buffer creations plus capacity
+    /// growth on reuse).
+    allocations: usize,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a `rows × cols` zero-filled matrix, reusing the largest free
+    /// buffer when one exists. Counts toward [`Workspace::allocations`]
+    /// only when fresh heap memory is needed (no free buffer, or the
+    /// largest free buffer is too small).
+    pub fn take(&mut self, rows: usize, cols: usize) -> Matrix {
+        let len = rows * cols;
+        let mut buf = match self.pop_largest() {
+            Some(buf) => buf,
+            None => {
+                self.allocations += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        if buf.capacity() < len {
+            self.allocations += 1;
+        }
+        buf.clear();
+        buf.resize(len, 0.0);
+        Matrix::from_parts(rows, cols, buf)
+    }
+
+    /// Returns a matrix's buffer to the pool for reuse.
+    pub fn give(&mut self, m: Matrix) {
+        self.free.push(m.into_vec());
+    }
+
+    /// Fresh heap allocations performed so far. Flat across iterations ⇔
+    /// the steady state is allocation-free.
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Number of buffers currently available for reuse.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Removes and returns the free buffer with the largest capacity.
+    fn pop_largest(&mut self) -> Option<Vec<f32>> {
+        let best = self
+            .free
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)?;
+        Some(self.free.swap_remove(best))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_take_reuses_the_buffer() {
+        let mut ws = Workspace::new();
+        let m = ws.take(4, 4);
+        assert_eq!(ws.allocations(), 1);
+        ws.give(m);
+        let m = ws.take(4, 4);
+        assert_eq!(ws.allocations(), 1, "same-size reuse must not allocate");
+        ws.give(m);
+        let m = ws.take(2, 3);
+        assert_eq!(ws.allocations(), 1, "smaller reuse must not allocate");
+        assert_eq!((m.rows(), m.cols()), (2, 3));
+    }
+
+    #[test]
+    fn growth_counts_as_allocation() {
+        let mut ws = Workspace::new();
+        let m = ws.take(2, 2);
+        ws.give(m);
+        let _big = ws.take(8, 8);
+        assert_eq!(ws.allocations(), 2, "capacity growth is an allocation");
+    }
+
+    #[test]
+    fn taken_matrices_are_zeroed() {
+        let mut ws = Workspace::new();
+        let mut m = ws.take(2, 2);
+        m.as_mut_slice().fill(7.0);
+        ws.give(m);
+        let m = ws.take(2, 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0)); // lint:allow(float-eq) exact zero fill
+    }
+
+    #[test]
+    fn largest_buffer_is_preferred() {
+        let mut ws = Workspace::new();
+        let small = ws.take(1, 2);
+        let large = ws.take(10, 10);
+        ws.give(small);
+        ws.give(large);
+        // A mid-size request must grab the 100-capacity buffer, not grow
+        // the 2-capacity one.
+        let m = ws.take(5, 5);
+        assert_eq!(ws.allocations(), 2);
+        ws.give(m);
+        assert_eq!(ws.free_buffers(), 2);
+    }
+}

@@ -22,12 +22,12 @@ fn nan_input_is_caught_at_the_producing_layer() {
     let mut net = tiny_net(&mut rng);
     let mut x = Matrix::zeros(2, 3);
     x.set(1, 2, f32::NAN);
-    // The NaN enters through the first Dense matmul, so the first layer is
-    // named as the producer — not some layer three steps downstream.
+    // The NaN enters through the first Dense affine map, so the first layer
+    // is named as the producer — not some layer three steps downstream.
     let err = net.forward(&x, Mode::Eval).expect_err("NaN must be caught");
     match err {
         TensorError::NonFinite { op, value, .. } => {
-            assert_eq!(op, "Matrix::matmul");
+            assert_eq!(op, "Matrix::addmm_into");
             assert!(value.is_nan());
         }
         other => panic!("expected NonFinite, got {other:?}"),

@@ -1,0 +1,103 @@
+//! Property tests pinning the allocation-free `_into` kernels to their
+//! allocating reference expressions, **bit-for-bit**.
+//!
+//! The workspace refactor replaced `transpose()`-then-`matmul` chains and
+//! per-call output allocations with fused kernels. Training determinism
+//! (golden fleet runs, frozen-front equality tests) relies on the new
+//! kernels producing the *exact same floats*, not merely close ones — so
+//! every assertion here is exact `==` on the full matrix, never an
+//! epsilon comparison.
+
+use proptest::prelude::*;
+use shoggoth_tensor::Matrix;
+
+/// Builds a `rows × cols` matrix from a prefix of `data`.
+fn take(data: &[f32], rows: usize, cols: usize) -> Matrix {
+    Matrix::from_vec(rows, cols, data[..rows * cols].to_vec()).expect("data sized to fit")
+}
+
+proptest! {
+    #[test]
+    fn matmul_into_matches_allocating_matmul(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        a_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+        b_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+    ) {
+        let (m, k, n) = dims;
+        let a = take(&a_data, m, k);
+        let b = take(&b_data, k, n);
+        let reference = a.matmul(&b).expect("shapes agree");
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_into(&b, &mut out).expect("shapes agree");
+        prop_assert_eq!(reference, out);
+    }
+
+    #[test]
+    fn matmul_transb_into_matches_transpose_path(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        a_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+        b_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+    ) {
+        let (m, k, n) = dims;
+        // out = a · bᵀ where a is m×k and b is n×k.
+        let a = take(&a_data, m, k);
+        let b = take(&b_data, n, k);
+        let reference = a.matmul(&b.transpose()).expect("shapes agree");
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transb_into(&b, &mut out).expect("shapes agree");
+        prop_assert_eq!(reference, out);
+    }
+
+    #[test]
+    fn matmul_transa_into_matches_transpose_path(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        a_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+        b_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+    ) {
+        let (r, m, n) = dims;
+        // out = aᵀ · b where a is r×m and b is r×n.
+        let a = take(&a_data, r, m);
+        let b = take(&b_data, r, n);
+        let reference = a.transpose().matmul(&b).expect("shapes agree");
+        let mut out = Matrix::zeros(0, 0);
+        a.matmul_transa_into(&b, &mut out).expect("shapes agree");
+        prop_assert_eq!(reference, out);
+    }
+
+    #[test]
+    fn addmm_into_matches_matmul_plus_broadcast(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        x_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+        w_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+        b_data in prop::collection::vec(-4.0f32..4.0, 8..9),
+    ) {
+        let (m, k, n) = dims;
+        let x = take(&x_data, m, k);
+        let w = take(&w_data, k, n);
+        let bias = take(&b_data, 1, n);
+        let reference = x
+            .matmul(&w)
+            .expect("shapes agree")
+            .add_row_broadcast(&bias)
+            .expect("bias fits");
+        let mut out = Matrix::zeros(0, 0);
+        x.addmm_into(&w, &bias, &mut out).expect("shapes agree");
+        prop_assert_eq!(reference, out);
+    }
+
+    #[test]
+    fn into_kernels_reuse_storage_across_shapes(
+        dims in (1usize..8, 1usize..8, 1usize..8),
+        a_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+        b_data in prop::collection::vec(-4.0f32..4.0, 64..65),
+    ) {
+        let (m, k, n) = dims;
+        let a = take(&a_data, m, k);
+        let b = take(&b_data, k, n);
+        // A stale, wrongly-shaped output must be fully overwritten.
+        let mut out = Matrix::from_vec(2, 3, vec![7.0; 6]).expect("literal shape");
+        a.matmul_into(&b, &mut out).expect("shapes agree");
+        let reference = a.matmul(&b).expect("shapes agree");
+        prop_assert_eq!(reference, out);
+    }
+}

@@ -5,8 +5,10 @@
 //! tested against published reference vectors. [`stats`] provides the
 //! summary statistics used by the evaluation harness (means, percentiles,
 //! empirical CDFs), [`ewma`] the exponentially-weighted averages used by the
-//! sampling-rate controller, and [`ring`] a fixed-capacity ring buffer used
-//! for recent-frame horizons.
+//! sampling-rate controller, [`ring`] a fixed-capacity ring buffer used
+//! for recent-frame horizons, and [`pool`] a scoped thread pool whose
+//! index-merged results keep parallel experiment runs bit-identical to
+//! serial ones.
 //!
 //! # Examples
 //!
@@ -20,10 +22,12 @@
 
 pub mod ewma;
 pub mod float;
+pub mod pool;
 pub mod ring;
 pub mod rng;
 pub mod stats;
 
 pub use ewma::Ewma;
+pub use pool::{available_threads, parallel_map};
 pub use ring::RingBuffer;
 pub use rng::Rng;

@@ -19,4 +19,12 @@ cargo test -q --workspace
 echo "==> cargo test -p shoggoth-tensor --features finite-check"
 cargo test -q -p shoggoth-tensor --features finite-check
 
+# Non-gating: the throughput probe exercises the release-mode hot path and
+# refreshes BENCH_tensor.json, but perf numbers on shared runners are too
+# noisy to gate a merge on.
+echo "==> bench smoke: scripts/bench.sh --probe (non-gating)"
+if ! bash scripts/bench.sh --probe; then
+  echo "bench smoke failed (non-gating; see output above)"
+fi
+
 echo "CI green."

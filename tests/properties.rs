@@ -116,7 +116,7 @@ proptest! {
             let batch: Vec<ReplayItem> = (0..batch_size)
                 .map(|i| ReplayItem { activation: vec![i as f32], label: run, stored_at_run: 0 })
                 .collect();
-            memory.integrate(&batch, &mut rng);
+            memory.integrate(batch, &mut rng);
             prop_assert!(memory.len() <= capacity);
         }
         prop_assert_eq!(memory.runs(), batches.len());

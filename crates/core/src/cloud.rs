@@ -2,8 +2,94 @@
 
 use crate::controller::{phi_score, ControllerConfig, SamplingRateController};
 use crate::error::InvalidConfig;
+use serde::{Deserialize, Serialize};
 use shoggoth_models::{pseudo_label, Detection, Detector, LabeledSample, TeacherDetector};
+use shoggoth_util::Rng;
 use shoggoth_video::Frame;
+
+/// Cloud-side fault injection: the labeling service itself can fail, not
+/// just the link. A loaded teacher GPU drops label batches outright or
+/// returns them late — both starve the edge's training pool exactly like
+/// link loss does, so the resilience layer must treat them the same way
+/// (an unacknowledged upload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudFaultProfile {
+    /// Probability a delivered batch's labels are never returned.
+    pub label_drop_rate: f64,
+    /// Probability a returned label batch is late.
+    pub slow_label_rate: f64,
+    /// Extra latency of a late label batch, seconds.
+    pub slow_label_secs: f64,
+}
+
+/// What the cloud did with one delivered upload's labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LabelFate {
+    /// The labels were never returned (the upload will time out).
+    Dropped,
+    /// The labels were returned after `extra_latency_secs` of queueing
+    /// (zero for a healthy cloud).
+    Delivered {
+        /// Extra cloud-side latency before the labels departed.
+        extra_latency_secs: f64,
+    },
+}
+
+impl CloudFaultProfile {
+    /// A healthy cloud (the paper's experiments).
+    pub fn none() -> Self {
+        Self {
+            label_drop_rate: 0.0,
+            slow_label_rate: 0.0,
+            slow_label_secs: 0.0,
+        }
+    }
+
+    /// Validates the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidConfig`] on NaN/out-of-range rates or a negative
+    /// or non-finite slow-label latency.
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        let reject = |reason| InvalidConfig {
+            component: "cloud fault profile",
+            reason,
+        };
+        if !(0.0..=1.0).contains(&self.label_drop_rate) {
+            return Err(reject("label drop rate must be in [0, 1] (NaN rejected)"));
+        }
+        if !(0.0..=1.0).contains(&self.slow_label_rate) {
+            return Err(reject("slow label rate must be in [0, 1] (NaN rejected)"));
+        }
+        if !self.slow_label_secs.is_finite() || self.slow_label_secs < 0.0 {
+            return Err(reject("slow label latency must be finite and non-negative"));
+        }
+        Ok(())
+    }
+
+    /// Draws the fate of one delivered batch's labels from the seeded RNG.
+    pub fn label_fate(&self, rng: &mut Rng) -> LabelFate {
+        if rng.bernoulli(self.label_drop_rate) {
+            return LabelFate::Dropped;
+        }
+        if rng.bernoulli(self.slow_label_rate) {
+            LabelFate::Delivered {
+                extra_latency_secs: self.slow_label_secs,
+            }
+        } else {
+            LabelFate::Delivered {
+                extra_latency_secs: 0.0,
+            }
+        }
+    }
+}
+
+impl Default for CloudFaultProfile {
+    fn default() -> Self {
+        Self::none()
+    }
+}
 
 /// Cloud-side configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -12,6 +98,8 @@ pub struct CloudConfig {
     pub label_threshold: f32,
     /// Sampling-rate controller parameters (Eqs. 2–3).
     pub controller: ControllerConfig,
+    /// Fault injection on the labeling service itself.
+    pub faults: CloudFaultProfile,
 }
 
 impl Default for CloudConfig {
@@ -19,6 +107,7 @@ impl Default for CloudConfig {
         Self {
             label_threshold: 0.5,
             controller: ControllerConfig::paper_defaults(),
+            faults: CloudFaultProfile::none(),
         }
     }
 }
@@ -70,13 +159,14 @@ impl CloudServer {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidConfig`] if the controller configuration is
-    /// inconsistent.
+    /// Returns [`InvalidConfig`] if the controller configuration or the
+    /// cloud fault profile is inconsistent.
     pub fn new(
         teacher: TeacherDetector,
         num_classes: usize,
         config: CloudConfig,
     ) -> Result<Self, InvalidConfig> {
+        config.faults.validate()?;
         Ok(Self {
             teacher,
             controller: SamplingRateController::new(config.controller)?,
@@ -202,6 +292,61 @@ mod tests {
         let r_low_alpha = cloud.update_rate(0.1, 0.1);
         assert!(r_low_alpha >= cloud.controller().config().r_min);
         assert!(r_low_alpha <= cloud.controller().config().r_max);
+    }
+
+    #[test]
+    fn invalid_fault_profile_rejected_at_server_construction() {
+        let stream = presets::kitti(12).with_total_frames(10);
+        let teacher =
+            TeacherDetector::pretrained_with(TeacherConfig::new(32, 1, 9).quick(), &stream.library);
+        let config = CloudConfig {
+            faults: CloudFaultProfile {
+                label_drop_rate: f64::NAN,
+                ..CloudFaultProfile::none()
+            },
+            ..CloudConfig::default()
+        };
+        let err = CloudServer::new(teacher, 1, config).expect_err("NaN rate must be rejected");
+        assert_eq!(err.component, "cloud fault profile");
+    }
+
+    #[test]
+    fn fault_profile_rejects_out_of_range_fields() {
+        let bad_rate = CloudFaultProfile {
+            slow_label_rate: 1.5,
+            ..CloudFaultProfile::none()
+        };
+        assert!(bad_rate.validate().is_err());
+        let bad_secs = CloudFaultProfile {
+            slow_label_secs: -1.0,
+            ..CloudFaultProfile::none()
+        };
+        assert!(bad_secs.validate().is_err());
+        assert!(CloudFaultProfile::none().validate().is_ok());
+    }
+
+    #[test]
+    fn label_fates_follow_the_configured_rates() {
+        use shoggoth_util::Rng;
+        let faults = CloudFaultProfile {
+            label_drop_rate: 0.3,
+            slow_label_rate: 0.5,
+            slow_label_secs: 4.0,
+        };
+        let mut rng = Rng::seed_from(17);
+        let (mut drops, mut slow) = (0u32, 0u32);
+        for _ in 0..2000 {
+            match faults.label_fate(&mut rng) {
+                LabelFate::Dropped => drops += 1,
+                LabelFate::Delivered { extra_latency_secs } if extra_latency_secs > 0.0 => {
+                    slow += 1;
+                }
+                LabelFate::Delivered { .. } => {}
+            }
+        }
+        assert!((500..700).contains(&drops), "drops {drops}");
+        // Slow applies to the ~70% that survive the drop draw.
+        assert!((600..800).contains(&slow), "slow {slow}");
     }
 
     #[test]

@@ -59,6 +59,16 @@ impl ControllerConfig {
     }
 }
 
+impl ControllerConfig {
+    /// The sampling rate the edge falls back to while the uplink circuit
+    /// breaker is open: the controller's floor `r_min`. Sampling at the
+    /// floor keeps the chunk cadence (and hence recovery probing) alive
+    /// without spending bandwidth the outage would waste.
+    pub fn outage_floor(&self) -> f64 {
+        self.r_min
+    }
+}
+
 impl Default for ControllerConfig {
     fn default() -> Self {
         Self::paper_defaults()

@@ -7,6 +7,7 @@
 //! configuration and keep going. The `xtask lint` panic audit (L2) holds
 //! these modules to zero `unwrap`/`expect` calls.
 
+use shoggoth_net::InvalidLink;
 use shoggoth_tensor::TensorError;
 
 /// A configuration whose fields are mutually inconsistent, rejected at
@@ -79,6 +80,9 @@ impl std::error::Error for TrainError {
 pub enum SimError {
     /// The run was rejected before it started.
     Config(InvalidConfig),
+    /// The link or fault-profile configuration was rejected (NaN rates,
+    /// inverted outage windows, non-positive capacities).
+    Link(InvalidLink),
     /// Adaptive training failed inside the run.
     Train(TrainError),
     /// A tensor operation outside a training session failed (e.g. the AMS
@@ -110,10 +114,17 @@ impl From<TrainError> for SimError {
     }
 }
 
+impl From<InvalidLink> for SimError {
+    fn from(err: InvalidLink) -> Self {
+        SimError::Link(err)
+    }
+}
+
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::Config(err) => write!(f, "{err}"),
+            SimError::Link(err) => write!(f, "{err}"),
             SimError::Train(err) => write!(f, "{err}"),
             SimError::Tensor { context, source } => {
                 write!(f, "simulation failed during {context}: {source}")
@@ -129,6 +140,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(err) => Some(err),
+            SimError::Link(err) => Some(err),
             SimError::Train(err) => Some(err),
             SimError::Tensor { source, .. } => Some(source),
             SimError::Invariant { .. } => None,

@@ -22,6 +22,10 @@
 //!   table and figure ([`sim::SimReport`]).
 //! * [`fleet`] — multi-device scalability analysis: cloud-GPU seconds per
 //!   device and supportable devices per GPU (the paper's §IV-B point 4).
+//! * [`resilience`] — the edge's failure management: upload timeouts,
+//!   bounded retransmission with exponential backoff, and a circuit
+//!   breaker that suspends the uplink during outages ([`sim::SimReport`]
+//!   surfaces every transition and count).
 //!
 //! # Examples
 //!
@@ -46,15 +50,19 @@ pub mod controller;
 pub mod error;
 pub mod fleet;
 pub mod replay;
+pub mod resilience;
 pub mod sim;
 pub mod strategy;
 pub mod trainer;
 
-pub use cloud::{CloudConfig, CloudServer};
+pub use cloud::{CloudConfig, CloudFaultProfile, CloudServer, LabelFate};
 pub use controller::{phi_score, ControllerConfig, SamplingRateController};
 pub use error::{InvalidConfig, SimError, TrainError};
 pub use fleet::{run_fleet, FleetConfig, FleetReport};
 pub use replay::{ReplayItem, ReplayMemory};
+pub use resilience::{
+    BreakerState, CircuitBreaker, EdgeResilience, ResilienceConfig, ResilienceReport,
+};
 pub use sim::{SimConfig, SimReport, Simulation};
 pub use strategy::Strategy;
 pub use trainer::{AdaptiveTrainer, FreezePolicy, ReplayPlacement, SessionReport, TrainerConfig};

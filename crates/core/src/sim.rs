@@ -7,8 +7,9 @@
 //! the sampling rate. The resulting [`SimReport`] carries every quantity
 //! the paper's tables and figures report.
 
-use crate::cloud::{CloudConfig, CloudServer};
+use crate::cloud::{CloudConfig, CloudServer, LabelFate};
 use crate::error::SimError;
+use crate::resilience::{BreakerState, EdgeResilience, ResilienceConfig, ResilienceReport};
 use crate::strategy::Strategy;
 use crate::trainer::{AdaptiveTrainer, FreezePolicy, ReplayPlacement, TrainerConfig};
 use serde::Serialize;
@@ -36,6 +37,10 @@ pub struct SimConfig {
     pub cloud: CloudConfig,
     /// Edge ↔ cloud link.
     pub link: LinkConfig,
+    /// Edge failure management: upload timeouts, retransmission, and the
+    /// uplink circuit breaker. [`ResilienceConfig::disabled`] reproduces
+    /// the fire-and-forget behavior of earlier revisions.
+    pub resilience: ResilienceConfig,
     /// Codec used for frame uploads.
     pub codec: Codec,
     /// GPU contention model on the edge device.
@@ -80,6 +85,7 @@ impl SimConfig {
             trainer: TrainerConfig::paper_scaled(),
             cloud: CloudConfig::default(),
             link: LinkConfig::cellular(),
+            resilience: ResilienceConfig::standard(),
             codec: Codec::h264_like(),
             contention: Contention::default(),
             edge_device: jetson_tx2(),
@@ -154,6 +160,9 @@ pub struct SimReport {
     /// Total modeled cloud GPU seconds spent training (non-zero only for
     /// AMS, whose distillation runs on the server).
     pub cloud_training_secs: f64,
+    /// Resilience counters: timeouts, retransmits, breaker transitions
+    /// and per-state spans, suppressed uploads, cloud label faults.
+    pub resilience: ResilienceReport,
 }
 
 /// The simulation engine.
@@ -209,6 +218,15 @@ impl Simulation {
     }
 }
 
+/// Labels on their way back to the edge (uplink + cloud + downlink
+/// latency already summed into the delivery time).
+struct PendingLabels {
+    deliver_at_secs: f64,
+    upload_id: u64,
+    frames: usize,
+    samples: Vec<LabeledSample>,
+}
+
 /// Mutable state of one run.
 struct Engine<'a> {
     config: &'a SimConfig,
@@ -218,6 +236,8 @@ struct Engine<'a> {
     /// AMS's cloud-side shadow student and its trainer.
     shadow: Option<(StudentDetector, AdaptiveTrainer)>,
     link: Link,
+    resilience: EdgeResilience,
+    pending_labels: Vec<PendingLabels>,
     rng: Rng,
     num_classes: usize,
 
@@ -277,7 +297,9 @@ impl<'a> Engine<'a> {
         };
         Ok(Self {
             trainer: AdaptiveTrainer::new(config.trainer.clone()),
-            link: Link::new(config.link),
+            link: Link::new(config.link.clone())?,
+            resilience: EdgeResilience::new(config.resilience)?,
+            pending_labels: Vec::new(),
             rng: Rng::seed_from(config.sim_seed ^ 0x53_49_4d), // "SIM"
             sampling_rate: initial_rate,
             next_sample_time: 0.0,
@@ -322,7 +344,7 @@ impl<'a> Engine<'a> {
                 .contention
                 .inference_fps(fps_cap, training_active);
             self.fps.record(t, fps_now);
-            self.rate_sum += self.sampling_rate;
+            self.rate_sum += self.effective_rate();
 
             // System inference output for this frame.
             let detections = match strategy {
@@ -339,16 +361,61 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            // Frame sampling toward the upload chunk.
+            // Resilience maintenance: matured label deliveries, upload
+            // timeouts, the breaker clock, and retransmits whose backoff
+            // elapsed (the in-order sequence is the determinism contract).
+            if strategy.uses_sampling() {
+                self.deliver_labels(t);
+                self.resilience.expire(t, &mut self.rng);
+                self.resilience.poll(t);
+                while let Some(q) = self.resilience.take_ready(t) {
+                    self.transmit_chunk(t, q.frames, q.attempt, false);
+                }
+            }
+
+            // A half-open breaker probes as soon as it may: one
+            // single-frame chunk tests the link, and no further probe
+            // launches until this one times out or is acknowledged.
+            if strategy.uses_sampling()
+                && self.resilience.state() == BreakerState::HalfOpen
+                && !self.resilience.probe_in_flight()
+            {
+                self.transmit_chunk(t, vec![frame.clone()], 1, true);
+            }
+
+            // Frame sampling toward the upload chunk. An open breaker
+            // suspends the uplink: frames are still sampled (at the
+            // controller's outage floor) but full chunks are counted and
+            // discarded instead of transmitted; the probe machinery above
+            // owns the uplink while half-open.
             if strategy.uses_sampling() && t >= self.next_sample_time {
-                self.chunk.push(frame.clone());
-                self.next_sample_time = t + 1.0 / self.sampling_rate.max(1e-6);
-                if self.chunk.len() >= self.config.upload_chunk_frames {
-                    self.upload_chunk(t);
+                self.next_sample_time = t + 1.0 / self.effective_rate().max(1e-6);
+                match self.resilience.state() {
+                    BreakerState::Closed => {
+                        self.chunk.push(frame.clone());
+                        if self.chunk.len() >= self.config.upload_chunk_frames {
+                            self.upload_chunk(t);
+                        }
+                    }
+                    BreakerState::Open => {
+                        self.chunk.push(frame.clone());
+                        if self.chunk.len() >= self.config.upload_chunk_frames {
+                            self.suppress_chunk();
+                        }
+                    }
+                    BreakerState::HalfOpen => {}
                 }
-                if self.pool_frames >= self.config.trainer.batch_frames {
-                    self.adapt(t)?;
-                }
+            }
+
+            // Adapt once a training batch has pooled. Adaptation freezes
+            // while the breaker is not closed: labels cannot be fresh
+            // during an outage, and training through one would burn the
+            // edge GPU for nothing.
+            if strategy.uses_sampling()
+                && self.resilience.state() == BreakerState::Closed
+                && self.pool_frames >= self.config.trainer.batch_frames
+            {
+                self.adapt(t)?;
             }
 
             // Evaluation.
@@ -370,8 +437,11 @@ impl<'a> Engine<'a> {
         bandwidth.record_uplink(self.link.uplink_bytes());
         bandwidth.record_downlink(self.link.downlink_bytes());
         bandwidth.finish(duration);
+        self.resilience.finish(duration);
+        let resilience = self.resilience.report(&self.link);
 
         Ok(SimReport {
+            resilience,
             strategy: strategy.name(),
             stream_name: self.config.stream.name.clone(),
             frames: frames_played,
@@ -416,6 +486,7 @@ impl<'a> Engine<'a> {
             ((frame.raw_bytes as f64 / ratio).ceil() as u64).max(1)
         };
         self.link.send_uplink(
+            frame.timestamp,
             Message::FrameBatch {
                 frames: 1,
                 encoded_bytes: encoded,
@@ -425,6 +496,7 @@ impl<'a> Engine<'a> {
         self.teacher_frames += 1;
         let detections = self.cloud.infer(frame);
         self.link.send_downlink(
+            frame.timestamp,
             Message::MaskResults {
                 count: detections.len(),
                 frame_encoded_bytes: encoded,
@@ -434,46 +506,137 @@ impl<'a> Engine<'a> {
         detections
     }
 
-    /// The chunk-upload event: encode + ship the sampled chunk, have the
-    /// cloud label it (pooling the labeled samples toward the next
-    /// training batch), and update the sampling rate.
-    fn upload_chunk(&mut self, t: f64) {
-        let strategy = self.config.strategy;
+    /// The sampling rate actually in force: the controller's rate while
+    /// the breaker is closed, the outage floor while it is open or
+    /// half-open (no point sampling fast into a dead link).
+    fn effective_rate(&self) -> f64 {
+        match self.resilience.state() {
+            BreakerState::Closed => self.sampling_rate,
+            BreakerState::Open | BreakerState::HalfOpen => self
+                .config
+                .cloud
+                .controller
+                .outage_floor()
+                .min(self.sampling_rate),
+        }
+    }
+
+    /// Delivers every matured label batch to the edge: pools the samples,
+    /// acknowledges the upload, and — when a delivered probe closes the
+    /// breaker — resumes normal sampling and releases queued retransmits.
+    fn deliver_labels(&mut self, t: f64) {
+        let mut i = 0;
+        while i < self.pending_labels.len() {
+            if self.pending_labels[i].deliver_at_secs > t {
+                i += 1;
+                continue;
+            }
+            let pending = self.pending_labels.remove(i);
+            let outcome = self.resilience.ack(pending.upload_id, t);
+            // Labels are useful even from a post-timeout straggler.
+            self.pool_frames += pending.frames;
+            self.pool.extend(pending.samples);
+            if outcome.closed_breaker {
+                // Recovery: catch up immediately instead of waiting out
+                // the widened sampling interval.
+                self.next_sample_time = t;
+                self.resilience.release_queue(t);
+            }
+        }
+    }
+
+    /// Encodes and transmits one chunk of sampled frames, registering it
+    /// with the in-flight tracker. On delivery the cloud labels the chunk
+    /// and (cloud faults permitting) the labels travel back as a
+    /// [`PendingLabels`] entry; acknowledgment happens when they arrive.
+    fn transmit_chunk(&mut self, t: f64, frames: Vec<Frame>, attempt: u32, probe: bool) {
+        if frames.is_empty() {
+            return;
+        }
         let gap = 1.0 / self.sampling_rate.max(1e-6);
+        let stats: Vec<FrameGroupStats> = frames
+            .iter()
+            .map(|f| FrameGroupStats::new(f.raw_bytes, f.motion_magnitude))
+            .collect();
+        let encoded = self.config.codec.encode_group(&stats, gap);
+        let up = self.link.send_uplink(
+            t,
+            Message::FrameBatch {
+                frames: frames.len(),
+                encoded_bytes: encoded,
+            },
+            &mut self.rng,
+        );
+        let mut pending = None;
+        if let Some(up) = up {
+            self.teacher_frames += frames.len() as u64;
+            let refs: Vec<&Frame> = frames.iter().collect();
+            let labels = self.cloud.label_batch(&refs);
+            match self.config.cloud.faults.label_fate(&mut self.rng) {
+                LabelFate::Dropped => self.resilience.note_cloud_drop(),
+                LabelFate::Delivered { extra_latency_secs } => {
+                    if extra_latency_secs > 0.0 {
+                        self.resilience.note_slow_labels();
+                    }
+                    let down = self.link.send_downlink(
+                        t,
+                        Message::Labels {
+                            samples: labels.total_samples,
+                        },
+                        &mut self.rng,
+                    );
+                    if let Some(down) = down {
+                        pending = Some((
+                            t + up.latency_secs + extra_latency_secs + down.latency_secs,
+                            labels.per_frame.concat(),
+                            frames.len(),
+                        ));
+                    }
+                }
+            }
+        }
+        let upload_id = self.resilience.register(t, frames, attempt, probe);
+        if let Some((deliver_at_secs, samples, chunk_frames)) = pending {
+            self.pending_labels.push(PendingLabels {
+                deliver_at_secs,
+                upload_id,
+                frames: chunk_frames,
+                samples,
+            });
+        }
+    }
+
+    /// Counts a chunk discarded because the breaker was open, crediting
+    /// the uplink bytes it would have cost (frame batch + telemetry).
+    fn suppress_chunk(&mut self) {
+        let gap = 1.0 / self.effective_rate().max(1e-6);
         let stats: Vec<FrameGroupStats> = self
             .chunk
             .iter()
             .map(|f| FrameGroupStats::new(f.raw_bytes, f.motion_magnitude))
             .collect();
         let encoded = self.config.codec.encode_group(&stats, gap);
-        let delivered = self
-            .link
-            .send_uplink(
-                Message::FrameBatch {
-                    frames: self.chunk.len(),
-                    encoded_bytes: encoded,
-                },
-                &mut self.rng,
-            )
-            .is_some();
-
-        if delivered {
-            self.teacher_frames += self.chunk.len() as u64;
-            let refs: Vec<&Frame> = self.chunk.iter().collect();
-            let labels = self.cloud.label_batch(&refs);
-            let label_msg = Message::Labels {
-                samples: labels.total_samples,
-            };
-            let labels_arrived = self.link.send_downlink(label_msg, &mut self.rng).is_some();
-            if labels_arrived {
-                self.pool_frames += self.chunk.len();
-                self.pool.extend(labels.per_frame.concat());
-            }
+        let would_be_bytes = Message::FrameBatch {
+            frames: self.chunk.len(),
+            encoded_bytes: encoded,
         }
+        .bytes()
+            + Message::Telemetry.bytes();
+        self.resilience.note_suppressed(would_be_bytes);
+        self.chunk.clear();
+    }
+
+    /// The chunk-upload event: encode + ship the sampled chunk (the cloud
+    /// labels it on delivery; the labels pool when they arrive back), and
+    /// update the sampling rate.
+    fn upload_chunk(&mut self, t: f64) {
+        let strategy = self.config.strategy;
+        let frames = std::mem::take(&mut self.chunk);
+        self.transmit_chunk(t, frames, 1, false);
 
         // Telemetry and rate control — once per chunk, so the controller
         // reacts within seconds of a scene change.
-        self.link.send_uplink(Message::Telemetry, &mut self.rng);
+        self.link.send_uplink(t, Message::Telemetry, &mut self.rng);
         if strategy.adaptive_rate() {
             let alpha = if self.alpha_total == 0 {
                 self.config.cloud.controller.alpha_target
@@ -488,7 +651,6 @@ impl<'a> Engine<'a> {
             self.alpha_hits = 0;
             self.alpha_total = 0;
         }
-        self.chunk.clear();
     }
 
     /// A full training batch has pooled: adapt the student (edge-side or
@@ -497,7 +659,7 @@ impl<'a> Engine<'a> {
         let fresh = std::mem::take(&mut self.pool);
         self.pool_frames = 0;
         match self.config.strategy {
-            Strategy::Ams => self.ams_adapt(&fresh),
+            Strategy::Ams => self.ams_adapt(&fresh, t),
             _ => self.edge_adapt(&fresh, t),
         }
     }
@@ -516,7 +678,7 @@ impl<'a> Engine<'a> {
 
     /// AMS: the cloud fine-tunes a shadow student and streams the full
     /// model back; edge inference never contends with training.
-    fn ams_adapt(&mut self, fresh: &[LabeledSample]) -> Result<(), SimError> {
+    fn ams_adapt(&mut self, fresh: &[LabeledSample], t: f64) -> Result<(), SimError> {
         let Some((shadow, shadow_trainer)) = self.shadow.as_mut() else {
             return Err(SimError::Invariant {
                 context: "AMS runs always construct a shadow student",
@@ -527,6 +689,7 @@ impl<'a> Engine<'a> {
         let arrived = self
             .link
             .send_downlink(
+                t,
                 Message::ModelWeights {
                     bytes: self.config.ams_update_bytes,
                 },

@@ -11,8 +11,10 @@
 //! * [`Message`] — the sizes of everything that crosses the link: encoded
 //!   frame batches, label sets, model weights (AMS), detection results
 //!   (Cloud-Only's mask-bearing outputs), and telemetry.
-//! * [`Link`] — uplink/downlink accounting with latency and optional loss
-//!   (failure injection).
+//! * [`Link`] — uplink/downlink accounting with latency and a composable
+//!   [`FaultProfile`]: i.i.d. loss, Gilbert–Elliott bursts, scheduled
+//!   outages, bandwidth degradation, and latency jitter — all driven by a
+//!   seeded RNG so chaos runs are deterministic.
 //!
 //! # Examples
 //!
@@ -28,9 +30,13 @@
 //! ```
 
 pub mod codec;
+pub mod fault;
 pub mod link;
 pub mod message;
 
 pub use codec::{Codec, FrameGroupStats};
+pub use fault::{
+    DegradationWindow, FaultProfile, GilbertElliott, InvalidLink, LatencyJitter, OutageWindow,
+};
 pub use link::{Link, LinkConfig, Transfer};
 pub use message::Message;

@@ -1,11 +1,12 @@
-//! The edge ↔ cloud link: byte accounting, latency, and loss injection.
+//! The edge ↔ cloud link: byte accounting, latency, and fault injection.
 
+use crate::fault::{FaultProfile, InvalidLink};
 use crate::message::Message;
 use serde::{Deserialize, Serialize};
 use shoggoth_util::Rng;
 
-/// Link capacity and reliability parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// Link capacity, latency, and fault-injection parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LinkConfig {
     /// Uplink capacity in kilobits per second.
     pub uplink_kbps: f64,
@@ -13,9 +14,9 @@ pub struct LinkConfig {
     pub downlink_kbps: f64,
     /// One-way base latency in seconds.
     pub base_latency_secs: f64,
-    /// Probability a message is lost entirely (failure injection; `0.0`
-    /// for the paper's experiments).
-    pub loss_rate: f64,
+    /// Composable fault schedule ([`FaultProfile::none`] for the paper's
+    /// experiments).
+    pub fault: FaultProfile,
 }
 
 impl LinkConfig {
@@ -25,14 +26,52 @@ impl LinkConfig {
             uplink_kbps: 20_000.0,
             downlink_kbps: 40_000.0,
             base_latency_secs: 0.025,
-            loss_rate: 0.0,
+            fault: FaultProfile::none(),
         }
     }
 
-    /// Sets the loss rate (clamped to `[0, 1]`).
+    /// Sets the baseline i.i.d. loss rate. The value is validated (not
+    /// clamped) when the [`Link`] is constructed.
+    #[must_use]
     pub fn with_loss_rate(mut self, loss_rate: f64) -> Self {
-        self.loss_rate = loss_rate.clamp(0.0, 1.0);
+        self.fault.loss_rate = loss_rate;
         self
+    }
+
+    /// Replaces the whole fault profile.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultProfile) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Validates capacities, latency, and the fault profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLink`] if either capacity is non-positive or
+    /// non-finite, the base latency is negative or non-finite, or any
+    /// fault-profile component is out of range.
+    pub fn validate(&self) -> Result<(), InvalidLink> {
+        if !self.uplink_kbps.is_finite() || self.uplink_kbps <= 0.0 {
+            return Err(InvalidLink {
+                field: "uplink_kbps",
+                reason: "capacity must be finite and positive",
+            });
+        }
+        if !self.downlink_kbps.is_finite() || self.downlink_kbps <= 0.0 {
+            return Err(InvalidLink {
+                field: "downlink_kbps",
+                reason: "capacity must be finite and positive",
+            });
+        }
+        if !self.base_latency_secs.is_finite() || self.base_latency_secs < 0.0 {
+            return Err(InvalidLink {
+                field: "base_latency_secs",
+                reason: "latency must be finite and non-negative",
+            });
+        }
+        self.fault.validate()
     }
 }
 
@@ -47,12 +86,17 @@ impl Default for LinkConfig {
 pub struct Transfer {
     /// Bytes that crossed the wire.
     pub bytes: u64,
-    /// Transfer completion latency in seconds (serialization + base
-    /// latency).
+    /// Transfer completion latency in seconds (serialization at the
+    /// degraded capacity + base latency + jitter).
     pub latency_secs: f64,
 }
 
-/// A bidirectional edge ↔ cloud link with cumulative accounting.
+/// A bidirectional edge ↔ cloud link with cumulative accounting and
+/// deterministic fault injection.
+///
+/// Sends are stamped with the simulation time so scheduled faults
+/// (outages, degradations) apply; all randomness comes from the
+/// caller-supplied seeded RNG.
 ///
 /// # Examples
 ///
@@ -60,11 +104,12 @@ pub struct Transfer {
 /// use shoggoth_net::{Link, LinkConfig, Message};
 /// use shoggoth_util::Rng;
 ///
-/// let mut link = Link::new(LinkConfig::cellular());
+/// let mut link = Link::new(LinkConfig::cellular())?;
 /// let mut rng = Rng::seed_from(0);
-/// let sent = link.send_uplink(Message::Labels { samples: 10 }, &mut rng);
+/// let sent = link.send_uplink(0.0, Message::Labels { samples: 10 }, &mut rng);
 /// assert!(sent.is_some());
 /// assert!(link.uplink_bytes() > 0);
+/// # Ok::<(), shoggoth_net::fault::InvalidLink>(())
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Link {
@@ -72,25 +117,29 @@ pub struct Link {
     uplink_bytes: u64,
     downlink_bytes: u64,
     dropped_messages: u64,
+    outage_drops: u64,
+    burst_drops: u64,
+    ge_bad: bool,
 }
 
 impl Link {
     /// Creates a link.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if either capacity is not positive.
-    pub fn new(config: LinkConfig) -> Self {
-        assert!(
-            config.uplink_kbps > 0.0 && config.downlink_kbps > 0.0,
-            "link capacities must be positive"
-        );
-        Self {
+    /// Returns [`InvalidLink`] if the configuration fails
+    /// [`LinkConfig::validate`].
+    pub fn new(config: LinkConfig) -> Result<Self, InvalidLink> {
+        config.validate()?;
+        Ok(Self {
             config,
             uplink_bytes: 0,
             downlink_bytes: 0,
             dropped_messages: 0,
-        }
+            outage_drops: 0,
+            burst_drops: 0,
+            ge_bad: false,
+        })
     }
 
     /// The link configuration.
@@ -98,40 +147,79 @@ impl Link {
         &self.config
     }
 
-    /// Sends a message edge → cloud. Returns `None` if the message was
-    /// lost (per the configured loss rate); lost messages still consume
-    /// uplink bytes (the sender transmitted them).
-    pub fn send_uplink(&mut self, message: Message, rng: &mut Rng) -> Option<Transfer> {
+    /// Sends a message edge → cloud at simulation time `now_secs`.
+    /// Returns `None` if the message was lost; lost messages still
+    /// consume uplink bytes (the sender transmitted them).
+    pub fn send_uplink(
+        &mut self,
+        now_secs: f64,
+        message: Message,
+        rng: &mut Rng,
+    ) -> Option<Transfer> {
         let bytes = message.bytes();
         self.uplink_bytes += bytes;
-        if rng.bernoulli(self.config.loss_rate) {
-            self.dropped_messages += 1;
-            return None;
-        }
-        Some(Transfer {
-            bytes,
-            latency_secs: self.transfer_secs(bytes, self.config.uplink_kbps),
-        })
+        self.transfer(now_secs, bytes, self.config.uplink_kbps, rng)
     }
 
     /// Sends a message cloud → edge (same semantics as
     /// [`send_uplink`](Self::send_uplink)).
-    pub fn send_downlink(&mut self, message: Message, rng: &mut Rng) -> Option<Transfer> {
+    pub fn send_downlink(
+        &mut self,
+        now_secs: f64,
+        message: Message,
+        rng: &mut Rng,
+    ) -> Option<Transfer> {
         let bytes = message.bytes();
         self.downlink_bytes += bytes;
-        if rng.bernoulli(self.config.loss_rate) {
+        self.transfer(now_secs, bytes, self.config.downlink_kbps, rng)
+    }
+
+    /// Applies the fault pipeline to one already-billed message: outage
+    /// check, burst-chain step, i.i.d. loss, then latency (degraded
+    /// serialization + jitter). Fault order is part of the determinism
+    /// contract: the RNG draw sequence per message is fixed.
+    fn transfer(
+        &mut self,
+        now_secs: f64,
+        bytes: u64,
+        capacity_kbps: f64,
+        rng: &mut Rng,
+    ) -> Option<Transfer> {
+        let fault = &self.config.fault;
+        if fault.outage_active(now_secs) {
             self.dropped_messages += 1;
+            self.outage_drops += 1;
             return None;
+        }
+        let mut loss = fault.loss_rate;
+        if let Some(burst) = &fault.burst {
+            self.ge_bad = burst.step(self.ge_bad, rng);
+            // Combined survival: the message must survive both the
+            // baseline and the burst-state loss draws.
+            loss = 1.0 - (1.0 - loss) * (1.0 - burst.state_loss(self.ge_bad));
+        }
+        if rng.bernoulli(loss) {
+            self.dropped_messages += 1;
+            if self.ge_bad {
+                self.burst_drops += 1;
+            }
+            return None;
+        }
+        let factor = fault.capacity_factor(now_secs);
+        let payload_secs = bytes as f64 * 8.0 / (capacity_kbps * factor * 1000.0);
+        let mut latency_secs = self.config.base_latency_secs + payload_secs;
+        if let Some(jitter) = &fault.jitter {
+            if jitter.jitter_secs > 0.0 {
+                latency_secs += rng.range_f64(0.0, jitter.jitter_secs);
+            }
+            if rng.bernoulli(jitter.spike_prob) {
+                latency_secs += jitter.spike_secs;
+            }
         }
         Some(Transfer {
             bytes,
-            latency_secs: self.transfer_secs(bytes, self.config.downlink_kbps),
+            latency_secs,
         })
-    }
-
-    fn transfer_secs(&self, bytes: u64, capacity_kbps: f64) -> f64 {
-        let payload_secs = bytes as f64 * 8.0 / (capacity_kbps * 1000.0);
-        self.config.base_latency_secs + payload_secs
     }
 
     /// Total bytes transmitted edge → cloud.
@@ -144,22 +232,33 @@ impl Link {
         self.downlink_bytes
     }
 
-    /// Number of messages lost to failure injection.
+    /// Number of messages lost to any fault.
     pub fn dropped_messages(&self) -> u64 {
         self.dropped_messages
+    }
+
+    /// Messages lost to scheduled outage windows.
+    pub fn outage_drops(&self) -> u64 {
+        self.outage_drops
+    }
+
+    /// Messages lost while the burst chain was in its bad state.
+    pub fn burst_drops(&self) -> u64 {
+        self.burst_drops
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{GilbertElliott, LatencyJitter};
 
     #[test]
     fn accounting_accumulates_both_directions() {
-        let mut link = Link::new(LinkConfig::cellular());
+        let mut link = Link::new(LinkConfig::cellular()).expect("valid config");
         let mut rng = Rng::seed_from(1);
-        link.send_uplink(Message::Telemetry, &mut rng);
-        link.send_downlink(Message::Detections { count: 2 }, &mut rng);
+        link.send_uplink(0.0, Message::Telemetry, &mut rng);
+        link.send_downlink(0.0, Message::Detections { count: 2 }, &mut rng);
         assert_eq!(link.uplink_bytes(), 96);
         assert_eq!(link.downlink_bytes(), 64 + 56);
     }
@@ -170,11 +269,12 @@ mod tests {
             uplink_kbps: 8.0, // 1 kB/s
             downlink_kbps: 8.0,
             base_latency_secs: 0.1,
-            loss_rate: 0.0,
-        });
+            fault: FaultProfile::none(),
+        })
+        .expect("valid config");
         let mut rng = Rng::seed_from(2);
         let t = link
-            .send_uplink(Message::ModelWeights { bytes: 936 }, &mut rng)
+            .send_uplink(0.0, Message::ModelWeights { bytes: 936 }, &mut rng)
             .expect("no loss configured");
         // 936 + 64 header = 1000 bytes at 1 kB/s = 1 s, plus 0.1 s base.
         assert!((t.latency_secs - 1.1).abs() < 1e-9, "{}", t.latency_secs);
@@ -182,21 +282,146 @@ mod tests {
 
     #[test]
     fn lossy_link_drops_but_still_bills_uplink() {
-        let mut link = Link::new(LinkConfig::cellular().with_loss_rate(1.0));
+        let mut link = Link::new(LinkConfig::cellular().with_loss_rate(1.0)).expect("valid config");
         let mut rng = Rng::seed_from(3);
-        assert!(link.send_uplink(Message::Telemetry, &mut rng).is_none());
+        assert!(link
+            .send_uplink(0.0, Message::Telemetry, &mut rng)
+            .is_none());
         assert_eq!(link.dropped_messages(), 1);
         assert!(link.uplink_bytes() > 0);
     }
 
     #[test]
-    #[should_panic(expected = "link capacities must be positive")]
     fn zero_capacity_rejected() {
-        Link::new(LinkConfig {
+        let err = Link::new(LinkConfig {
             uplink_kbps: 0.0,
             downlink_kbps: 1.0,
             base_latency_secs: 0.0,
-            loss_rate: 0.0,
-        });
+            fault: FaultProfile::none(),
+        })
+        .expect_err("zero capacity must be rejected");
+        assert_eq!(err.field, "uplink_kbps");
+    }
+
+    #[test]
+    fn nan_latency_rejected() {
+        let err = Link::new(LinkConfig {
+            base_latency_secs: f64::NAN,
+            ..LinkConfig::cellular()
+        })
+        .expect_err("NaN latency must be rejected");
+        assert_eq!(err.field, "base_latency_secs");
+    }
+
+    #[test]
+    fn invalid_fault_profile_rejected_at_link_construction() {
+        let config = LinkConfig::cellular().with_fault(FaultProfile::none().with_outage(9.0, 3.0));
+        let err = Link::new(config).expect_err("inverted outage must be rejected");
+        assert_eq!(err.field, "outage.end_secs");
+    }
+
+    #[test]
+    fn outage_window_drops_everything_inside_and_nothing_outside() {
+        let config =
+            LinkConfig::cellular().with_fault(FaultProfile::none().with_outage(10.0, 20.0));
+        let mut link = Link::new(config).expect("valid config");
+        let mut rng = Rng::seed_from(4);
+        assert!(link
+            .send_uplink(9.9, Message::Telemetry, &mut rng)
+            .is_some());
+        assert!(link
+            .send_uplink(10.0, Message::Telemetry, &mut rng)
+            .is_none());
+        assert!(link
+            .send_uplink(19.9, Message::Telemetry, &mut rng)
+            .is_none());
+        assert!(link
+            .send_uplink(20.0, Message::Telemetry, &mut rng)
+            .is_some());
+        assert_eq!(link.outage_drops(), 2);
+        assert_eq!(link.dropped_messages(), 2);
+        // Outage drops are still billed: the edge transmitted into the void.
+        assert_eq!(link.uplink_bytes(), 4 * 96);
+    }
+
+    #[test]
+    fn degradation_slows_transfers_without_losing_them() {
+        let config = LinkConfig {
+            uplink_kbps: 8.0,
+            downlink_kbps: 8.0,
+            base_latency_secs: 0.0,
+            fault: FaultProfile::none().with_degradation(10.0, 20.0, 0.5),
+        };
+        let mut link = Link::new(config).expect("valid config");
+        let mut rng = Rng::seed_from(5);
+        let msg = Message::ModelWeights { bytes: 936 };
+        let clean = link.send_uplink(0.0, msg, &mut rng).expect("delivered");
+        let degraded = link.send_uplink(15.0, msg, &mut rng).expect("delivered");
+        assert!((degraded.latency_secs - 2.0 * clean.latency_secs).abs() < 1e-9);
+        assert_eq!(link.dropped_messages(), 0);
+    }
+
+    #[test]
+    fn jitter_perturbs_latency_within_bounds() {
+        let jitter = LatencyJitter {
+            jitter_secs: 0.05,
+            spike_prob: 0.0,
+            spike_secs: 0.0,
+        };
+        let config = LinkConfig::cellular().with_fault(FaultProfile::none().with_jitter(jitter));
+        let base = LinkConfig::cellular();
+        let mut jittered = Link::new(config).expect("valid config");
+        let mut clean = Link::new(base).expect("valid config");
+        let mut rng_a = Rng::seed_from(6);
+        let mut rng_b = Rng::seed_from(6);
+        let msg = Message::Telemetry;
+        for _ in 0..32 {
+            let j = jittered
+                .send_uplink(0.0, msg, &mut rng_a)
+                .expect("delivered");
+            let c = clean.send_uplink(0.0, msg, &mut rng_b).expect("delivered");
+            let extra = j.latency_secs - c.latency_secs;
+            assert!(
+                (0.0..0.05).contains(&extra),
+                "jitter out of bounds: {extra}"
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_link_drops_in_clusters() {
+        let config = LinkConfig::cellular()
+            .with_fault(FaultProfile::none().with_burst(GilbertElliott::bursty()));
+        let mut link = Link::new(config).expect("valid config");
+        let mut rng = Rng::seed_from(7);
+        for _ in 0..2000 {
+            link.send_uplink(0.0, Message::Telemetry, &mut rng);
+        }
+        assert!(link.dropped_messages() > 0, "bursty chain should drop some");
+        assert!(
+            link.burst_drops() > link.dropped_messages() / 2,
+            "most drops should come from bad-state bursts: {} of {}",
+            link.burst_drops(),
+            link.dropped_messages()
+        );
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_links() {
+        let config = LinkConfig::cellular().with_fault(
+            FaultProfile::none()
+                .with_loss_rate(0.1)
+                .with_burst(GilbertElliott::bursty())
+                .with_outage(1.0, 2.0),
+        );
+        let run = |seed: u64| {
+            let mut link = Link::new(config.clone()).expect("valid config");
+            let mut rng = Rng::seed_from(seed);
+            for i in 0..512 {
+                link.send_uplink(i as f64 * 0.01, Message::Telemetry, &mut rng);
+            }
+            link
+        };
+        assert_eq!(run(11), run(11));
     }
 }

@@ -79,7 +79,7 @@ fn word_starts(line: &str, token: &str) -> Vec<usize> {
 
 /// Crates whose `src/` must stay bit-reproducible: the simulation core and
 /// everything that feeds it frames or kernels.
-pub const DETERMINISTIC_CRATES: &[&str] = &["core", "compute", "video"];
+pub const DETERMINISTIC_CRATES: &[&str] = &["core", "compute", "video", "net"];
 
 const L1_BANNED: &[(&str, &str)] = &[
     (
@@ -155,6 +155,8 @@ pub const HOT_PATH: &[&str] = &[
     "crates/core/src/trainer.rs",
     "crates/core/src/sim.rs",
     "crates/core/src/controller.rs",
+    "crates/core/src/resilience.rs",
+    "crates/core/src/cloud.rs",
 ];
 
 const HOT_PATH_KINDS: &[&str] = &["panic", "unwrap", "expect"];

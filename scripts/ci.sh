@@ -19,6 +19,12 @@ cargo test -q --workspace
 echo "==> cargo test -p shoggoth-tensor --features finite-check"
 cargo test -q -p shoggoth-tensor --features finite-check
 
+# Gating: chaos smoke. A fixed-seed worst-case fault schedule (stacked
+# outages, bursty loss, degradation, jitter, flaky cloud) must complete
+# without a panic; see DESIGN.md §10 (Failure model & resilience).
+echo "==> chaos smoke: cargo run --release --example unreliable_network"
+cargo run -q --release --example unreliable_network
+
 # Non-gating: the throughput probe exercises the release-mode hot path and
 # refreshes BENCH_tensor.json, but perf numbers on shared runners are too
 # noisy to gate a merge on.

@@ -1,6 +1,7 @@
 //! Failure-injection tests: the system must degrade gracefully, not
 //! crash, when the network misbehaves.
 
+use shoggoth::resilience::ResilienceConfig;
 use shoggoth::sim::{SimConfig, Simulation};
 use shoggoth::strategy::Strategy;
 use shoggoth_net::LinkConfig;
@@ -42,9 +43,26 @@ fn total_blackout_degrades_to_edge_only_accuracy() {
     // happens: accuracy matches Edge-Only on the identical stream.
     assert_eq!(dead.training_sessions, 0);
     assert!((dead.map50 - edge.map50).abs() < 1e-9);
-    // But the edge kept (pointlessly) transmitting.
-    assert!(dead.uplink_bytes > 0);
     assert_eq!(dead.downlink_bytes, 0);
+
+    // The breaker must detect the blackout and suspend the uplink:
+    // bounded bytes, not ever-growing waste. Compare against the
+    // fire-and-forget behavior of earlier revisions on identical models.
+    let mut config_waste = config_dead.clone();
+    config_waste.resilience = ResilienceConfig::disabled();
+    let wasteful = Simulation::run_with_models(&config_waste, student, teacher)
+        .expect("fire-and-forget run completes");
+    assert!(dead.resilience.breaker_opens >= 1, "breaker never opened");
+    assert!(dead.resilience.suppressed_uploads > 0);
+    assert!(
+        dead.uplink_bytes < wasteful.uplink_bytes,
+        "breaker should save uplink bytes: resilient {} vs fire-and-forget {}",
+        dead.uplink_bytes,
+        wasteful.uplink_bytes
+    );
+    // Open spans dominate a permanent blackout: the edge spends almost
+    // the whole run not transmitting.
+    assert!(dead.resilience.open_secs > dead.duration_secs * 0.5);
 }
 
 #[test]
@@ -59,11 +77,14 @@ fn moderate_loss_costs_accuracy_but_not_correctness() {
     let lossy =
         Simulation::run_with_models(&config_lossy, student, teacher).expect("lossy run completes");
 
-    // Fewer labeled chunks arrive, so at most as many sessions complete.
-    assert!(lossy.training_sessions <= clean.training_sessions);
-    // The report stays well-formed.
+    // The report stays well-formed under heavy loss.
     assert!((0.0..=1.0).contains(&lossy.map50));
     assert!(lossy.min_fps > 0.0);
+    // Retransmission works: some timed-out chunks were re-sent.
+    assert!(lossy.resilience.upload_timeouts > 0);
+    // The clean run never needed the resilience machinery.
+    assert_eq!(clean.resilience.upload_timeouts, 0);
+    assert_eq!(clean.resilience.breaker_opens, 0);
 }
 
 #[test]

@@ -59,6 +59,42 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) {
     println!("\n[results written to {}]", path.display());
 }
 
+/// Writes one telemetry trace as both artifacts under
+/// `target/experiments/`: `<name>.jsonl` (one stamped event per line) and
+/// `<name>.html` (the self-contained SVG timeline). Returns the two paths.
+///
+/// # Panics
+///
+/// Aborts if either artifact cannot be written.
+pub fn export_telemetry(
+    name: &str,
+    title: &str,
+    records: &[shoggoth_telemetry::Record],
+) -> (PathBuf, PathBuf) {
+    let dir = out_dir();
+    let jsonl = dir.join(format!("{name}.jsonl"));
+    std::fs::write(&jsonl, shoggoth_telemetry::to_jsonl(records))
+        .expect("can write telemetry JSONL");
+    let html = dir.join(format!("{name}.html"));
+    std::fs::write(&html, shoggoth_telemetry::render_timeline(title, records))
+        .expect("can write telemetry timeline");
+    (jsonl, html)
+}
+
+/// Lowercases a strategy name into a filesystem-safe artifact slug
+/// (`Fixed(0.5)` → `fixed_0_5`).
+pub fn artifact_slug(name: &str) -> String {
+    let mut slug: String = name
+        .to_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    while slug.contains("__") {
+        slug = slug.replace("__", "_");
+    }
+    slug.trim_matches('_').to_owned()
+}
+
 /// Pre-trained models shared across the strategy runs of one stream, so
 /// every strategy starts from the identical student.
 pub struct SharedModels {

@@ -1,6 +1,6 @@
 //! The cloud server: online labeling and the sampling-rate controller.
 
-use crate::controller::{phi_score, ControllerConfig, SamplingRateController};
+use crate::controller::{phi_score, ControllerConfig, RateDecision, SamplingRateController};
 use crate::error::InvalidConfig;
 use serde::{Deserialize, Serialize};
 use shoggoth_models::{pseudo_label, Detection, Detector, LabeledSample, TeacherDetector};
@@ -227,6 +227,12 @@ impl CloudServer {
     /// accuracy α and resource usage λ (Eqs. 2–3).
     pub fn update_rate(&mut self, alpha: f64, lambda: f64) -> f64 {
         self.controller.update(alpha, lambda)
+    }
+
+    /// [`update_rate`](Self::update_rate), but returning the fully
+    /// attributed [`RateDecision`] for the telemetry trace.
+    pub fn update_rate_detailed(&mut self, alpha: f64, lambda: f64) -> RateDecision {
+        self.controller.update_detailed(alpha, lambda)
     }
 
     /// Mutable access to the hosted teacher (AMS's cloud-side training).

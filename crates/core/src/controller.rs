@@ -75,6 +75,29 @@ impl Default for ControllerConfig {
     }
 }
 
+/// One controller update, fully attributed: every Eq. (2)–(3) input and
+/// term alongside the resulting rate, so telemetry can explain *why* the
+/// rate moved (φ pressure, α pressure, or the λ carry term).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RateDecision {
+    /// Scene-change score φ̄ over the recent-frame horizon.
+    pub phi_bar: f64,
+    /// Edge-reported estimated accuracy α_t.
+    pub alpha: f64,
+    /// Raw resource-usage sample λ_{t+1} (clamped to `[0, 1]`).
+    pub lambda: f64,
+    /// Smoothed λ̄_{t+1} after observing this sample.
+    pub lambda_bar: f64,
+    /// Term `R(φ) = η_r · (φ̄_t − φ_target)`.
+    pub r_phi: f64,
+    /// Term `R(α) = η_α · max(0, α_target − α_t)`.
+    pub r_alpha: f64,
+    /// Term `R(λ) = (1 + λ̄_{t+1} − λ̄_t) · r_t`.
+    pub r_lambda: f64,
+    /// The clamped new rate `r_{t+1}` in fps.
+    pub rate: f64,
+}
+
 /// The sampling-rate controller running in the cloud.
 ///
 /// # Examples
@@ -156,13 +179,29 @@ impl SamplingRateController {
     /// Applies Eq. (2)/(3) with the edge-reported estimated accuracy `α_t`
     /// and resource usage `λ_{t+1}`, returning the new rate `r_{t+1}`.
     pub fn update(&mut self, alpha: f64, lambda: f64) -> f64 {
-        let r_phi = self.config.eta_r * (self.phi_bar() - self.config.phi_target);
+        self.update_detailed(alpha, lambda).rate
+    }
+
+    /// [`update`](Self::update), but returning the fully-attributed
+    /// [`RateDecision`] (telemetry's controller trace).
+    pub fn update_detailed(&mut self, alpha: f64, lambda: f64) -> RateDecision {
+        let phi_bar = self.phi_bar();
+        let r_phi = self.config.eta_r * (phi_bar - self.config.phi_target);
         let r_alpha = self.config.eta_alpha * (self.config.alpha_target - alpha).max(0.0);
         let lambda_bar_next = self.lambda_ewma.observe(lambda.clamp(0.0, 1.0));
         let r_lambda = (1.0 + lambda_bar_next - self.lambda_bar_prev) * self.rate;
         self.lambda_bar_prev = lambda_bar_next;
         self.rate = (r_phi + r_alpha + r_lambda).clamp(self.config.r_min, self.config.r_max);
-        self.rate
+        RateDecision {
+            phi_bar,
+            alpha,
+            lambda,
+            lambda_bar: lambda_bar_next,
+            r_phi,
+            r_alpha,
+            r_lambda,
+            rate: self.rate,
+        }
     }
 }
 

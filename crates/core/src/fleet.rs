@@ -15,6 +15,8 @@ use crate::sim::{SimConfig, SimReport, Simulation};
 use serde::Serialize;
 use shoggoth_compute::stack::mask_rcnn_x101;
 use shoggoth_compute::DeviceProfile;
+use shoggoth_models::{StudentDetector, TeacherDetector};
+use shoggoth_telemetry::{Record, RingRecorder};
 use shoggoth_util::parallel_map;
 
 /// Configuration of a fleet analysis.
@@ -86,6 +88,32 @@ pub struct FleetReport {
     pub mean_uplink_kbps: f64,
 }
 
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} fleet: {} devices over {:.1} s",
+            self.strategy, self.devices, self.duration_secs
+        )?;
+        writeln!(f, "  accuracy   mean mAP@0.5 {:.3}", self.mean_map50)?;
+        writeln!(
+            f,
+            "  cloud GPU  {:.1} s total, {:.3} utilization/device",
+            self.cloud_gpu_secs, self.gpu_utilization_per_device
+        )?;
+        writeln!(
+            f,
+            "  capacity   {:.1} devices per GPU",
+            self.supported_devices_per_gpu
+        )?;
+        write!(
+            f,
+            "  network    {:.1} Kbps mean uplink per device",
+            self.mean_uplink_kbps
+        )
+    }
+}
+
 /// Runs the fleet analysis.
 ///
 /// Each device replays the same stream *preset* with a distinct seed
@@ -103,14 +131,62 @@ pub struct FleetReport {
 /// completed device reports are discarded (each device is cheap relative
 /// to the sweep).
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, SimError> {
-    let (student, teacher) = Simulation::build_models(&config.base);
-    let teacher_infer_secs = config
-        .cloud_gpu
-        .secs_for(mask_rcnn_x101().total_forward_flops());
+    let per_device: Vec<SimReport> = parallel_map(
+        device_jobs(config),
+        config.threads,
+        |_, (device_config, device_student, device_teacher)| {
+            Simulation::run_with_models(&device_config, device_student, device_teacher)
+        },
+    )
+    .into_iter()
+    .collect::<Result<_, _>>()?;
+    Ok(aggregate(config, per_device))
+}
 
-    // Per-device work items are fully materialized (config + model clones)
-    // before the fan-out, so worker scheduling cannot influence seeding.
-    let jobs: Vec<(SimConfig, _, _)> = (0..config.devices)
+/// [`run_fleet`], but with a per-device [`RingRecorder`] (each keeping at
+/// most `capacity` records). Returns the fleet report plus one event
+/// trace per device, merged in device order — the merged streams are
+/// identical for every thread count, because each device's recorder lives
+/// entirely inside that device's pre-seeded job.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] (in device order) a device run produced;
+/// completed device reports are discarded (each device is cheap relative
+/// to the sweep).
+pub fn run_fleet_traced(
+    config: &FleetConfig,
+    capacity: usize,
+) -> Result<(FleetReport, Vec<Vec<Record>>), SimError> {
+    let results = parallel_map(
+        device_jobs(config),
+        config.threads,
+        move |_, (device_config, device_student, device_teacher)| {
+            let mut recorder = RingRecorder::new(capacity);
+            Simulation::run_traced(
+                &device_config,
+                device_student,
+                device_teacher,
+                &mut recorder,
+            )
+            .map(|report| (report, recorder.drain_records()))
+        },
+    );
+    let mut per_device = Vec::with_capacity(config.devices);
+    let mut traces = Vec::with_capacity(config.devices);
+    for result in results {
+        let (report, records) = result?;
+        per_device.push(report);
+        traces.push(records);
+    }
+    Ok((aggregate(config, per_device), traces))
+}
+
+/// Materializes the per-device work items (config + model clones) before
+/// any fan-out, so worker scheduling cannot influence seeding.
+fn device_jobs(config: &FleetConfig) -> Vec<(SimConfig, StudentDetector, TeacherDetector)> {
+    let (student, teacher) = Simulation::build_models(&config.base);
+    (0..config.devices)
         .map(|device| {
             let mut device_config = config.base.clone();
             device_config.stream = device_config
@@ -119,17 +195,15 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, SimError> {
             device_config.sim_seed = config.base.sim_seed.wrapping_add(device as u64);
             (device_config, student.clone(), teacher.clone())
         })
-        .collect();
-    let per_device: Vec<SimReport> = parallel_map(
-        jobs,
-        config.threads,
-        |_, (device_config, device_student, device_teacher)| {
-            Simulation::run_with_models(&device_config, device_student, device_teacher)
-        },
-    )
-    .into_iter()
-    .collect::<Result<_, _>>()?;
+        .collect()
+}
 
+/// Folds per-device reports into the fleet aggregate (shared by the traced
+/// and untraced runners).
+fn aggregate(config: &FleetConfig, per_device: Vec<SimReport>) -> FleetReport {
+    let teacher_infer_secs = config
+        .cloud_gpu
+        .secs_for(mask_rcnn_x101().total_forward_flops());
     let duration_secs = per_device
         .first()
         .map(|r| r.duration_secs)
@@ -143,7 +217,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, SimError> {
         per_device.iter().map(|r| r.uplink_kbps).sum::<f64>() / config.devices as f64;
     let per_device_util = cloud_gpu_secs / config.devices as f64 / duration_secs.max(1e-9);
 
-    Ok(FleetReport {
+    FleetReport {
         strategy: config.base.strategy.name(),
         devices: config.devices,
         mean_map50,
@@ -157,7 +231,7 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetReport, SimError> {
         },
         mean_uplink_kbps,
         per_device,
-    })
+    }
 }
 
 #[cfg(test)]

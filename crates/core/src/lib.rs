@@ -27,6 +27,12 @@
 //!   breaker that suspends the uplink during outages ([`sim::SimReport`]
 //!   surfaces every transition and count).
 //!
+//! Every stage of the pipeline can additionally stream stamped telemetry
+//! events into a `shoggoth-telemetry` recorder
+//! ([`Simulation::run_traced`](sim::Simulation::run_traced),
+//! [`fleet::run_fleet_traced`]) — observation-only by contract, so traced
+//! and untraced runs measure bit-identical results.
+//!
 //! # Examples
 //!
 //! Run a short Shoggoth simulation end to end:
@@ -56,12 +62,12 @@ pub mod strategy;
 pub mod trainer;
 
 pub use cloud::{CloudConfig, CloudFaultProfile, CloudServer, LabelFate};
-pub use controller::{phi_score, ControllerConfig, SamplingRateController};
+pub use controller::{phi_score, ControllerConfig, RateDecision, SamplingRateController};
 pub use error::{InvalidConfig, SimError, TrainError};
-pub use fleet::{run_fleet, FleetConfig, FleetReport};
+pub use fleet::{run_fleet, run_fleet_traced, FleetConfig, FleetReport};
 pub use replay::{ReplayItem, ReplayMemory};
 pub use resilience::{
-    BreakerState, CircuitBreaker, EdgeResilience, ResilienceConfig, ResilienceReport,
+    BreakerState, CircuitBreaker, EdgeResilience, ResilienceConfig, ResilienceReport, UploadTimeout,
 };
 pub use sim::{SimConfig, SimReport, Simulation};
 pub use strategy::Strategy;

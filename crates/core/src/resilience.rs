@@ -327,6 +327,19 @@ pub struct AckOutcome {
     pub closed_breaker: bool,
 }
 
+/// One expired in-flight upload, as reported by [`EdgeResilience::expire`]
+/// (the telemetry layer turns each into an `UploadTimedOut` event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UploadTimeout {
+    /// The send attempt that timed out (1-based).
+    pub attempt: u32,
+    /// Whether the expired upload was a half-open probe.
+    pub probe: bool,
+    /// Whether the chunk was requeued for retransmission (false for
+    /// probes, exhausted attempts, and queue-capacity drops).
+    pub requeued: bool,
+}
+
 /// Resilience counters surfaced in the simulation report.
 ///
 /// `PartialEq` is derived so determinism tests can compare whole chaos
@@ -471,8 +484,10 @@ impl EdgeResilience {
 
     /// Expires every in-flight upload past its deadline: counts the
     /// timeout, informs the breaker, and requeues the chunk with backoff
-    /// (probes and exhausted attempts are dropped instead).
-    pub fn expire(&mut self, now_secs: f64, rng: &mut Rng) {
+    /// (probes and exhausted attempts are dropped instead). Returns one
+    /// [`UploadTimeout`] per expiry, in deadline-scan order.
+    pub fn expire(&mut self, now_secs: f64, rng: &mut Rng) -> Vec<UploadTimeout> {
+        let mut timeouts = Vec::new();
         let mut i = 0;
         while i < self.inflight.len() {
             if self.inflight[i].deadline_secs > now_secs {
@@ -482,11 +497,18 @@ impl EdgeResilience {
             let expired = self.inflight.remove(i);
             self.upload_timeouts += 1;
             self.breaker.on_failure(now_secs);
+            let mut timeout = UploadTimeout {
+                attempt: expired.attempt,
+                probe: expired.probe,
+                requeued: false,
+            };
             if expired.probe {
+                timeouts.push(timeout);
                 continue;
             }
             if expired.attempt >= self.config.max_attempts {
                 self.retries_dropped += 1;
+                timeouts.push(timeout);
                 continue;
             }
             let mut delay = self.config.backoff_secs(expired.attempt);
@@ -497,17 +519,21 @@ impl EdgeResilience {
                 // Bounded queue: shed the oldest queued chunk first.
                 if self.queue.is_empty() {
                     self.retries_dropped += 1;
+                    timeouts.push(timeout);
                     continue;
                 }
                 self.queue.remove(0);
                 self.retries_dropped += 1;
             }
+            timeout.requeued = true;
+            timeouts.push(timeout);
             self.queue.push(QueuedRetransmit {
                 ready_at_secs: now_secs + delay,
                 attempt: expired.attempt + 1,
                 frames: expired.frames,
             });
         }
+        timeouts
     }
 
     /// Advances the breaker's time-driven transitions (open → half-open).
@@ -534,6 +560,12 @@ impl EdgeResilience {
         for q in &mut self.queue {
             q.ready_at_secs = q.ready_at_secs.min(now_secs);
         }
+    }
+
+    /// Retransmit chunks currently queued (the telemetry queue-depth
+    /// signal, alongside in-flight uploads).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 
     /// Whether a probe chunk is currently awaiting acknowledgment.

@@ -20,7 +20,8 @@ use shoggoth_metrics::FpsTracker;
 use shoggoth_models::{
     Detector, LabeledSample, StudentConfig, StudentDetector, TeacherConfig, TeacherDetector,
 };
-use shoggoth_net::{Codec, FrameGroupStats, Link, LinkConfig, Message};
+use shoggoth_net::{Codec, FrameGroupStats, Link, LinkConfig, Message, SendOutcome};
+use shoggoth_telemetry::{BreakerPhase, Event, NoopRecorder, Record, Recorder, TelemetrySummary};
 use shoggoth_util::Rng;
 use shoggoth_video::{Frame, StreamConfig};
 
@@ -113,9 +114,14 @@ impl SimConfig {
 
 /// Everything one simulation run measured.
 ///
-/// `PartialEq` is derived so determinism tests can assert that two runs
-/// (e.g. serial vs. parallel fleet schedules) are bit-identical.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// `PartialEq` is implemented manually so determinism tests can assert
+/// that two runs (e.g. serial vs. parallel fleet schedules, or
+/// telemetry-on vs. telemetry-off) are bit-identical: every measured
+/// field participates, while the purely observational [`telemetry`]
+/// attachment is excluded.
+///
+/// [`telemetry`]: SimReport::telemetry
+#[derive(Debug, Clone, Serialize)]
 pub struct SimReport {
     /// Strategy name.
     pub strategy: String,
@@ -163,6 +169,116 @@ pub struct SimReport {
     /// Resilience counters: timeouts, retransmits, breaker transitions
     /// and per-state spans, suppressed uploads, cloud label faults.
     pub resilience: ResilienceReport,
+    /// Aggregated telemetry, present when the run used an aggregating
+    /// recorder (see [`Simulation::run_traced`]). Excluded from equality:
+    /// observation must not change what a run measured.
+    pub telemetry: Option<TelemetrySummary>,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Destructured so a new measured field cannot silently escape the
+        // determinism contract; `telemetry` is the one deliberate omission.
+        let Self {
+            strategy,
+            stream_name,
+            frames,
+            duration_secs,
+            map50,
+            average_iou,
+            per_frame_map,
+            uplink_kbps,
+            downlink_kbps,
+            uplink_bytes,
+            downlink_bytes,
+            avg_fps,
+            min_fps,
+            fps_series,
+            training_sessions,
+            avg_session_secs,
+            avg_sampling_rate,
+            final_sampling_rate,
+            teacher_frames,
+            cloud_training_secs,
+            resilience,
+            telemetry: _,
+        } = self;
+        *strategy == other.strategy
+            && *stream_name == other.stream_name
+            && *frames == other.frames
+            && *duration_secs == other.duration_secs
+            && *map50 == other.map50
+            && *average_iou == other.average_iou
+            && *per_frame_map == other.per_frame_map
+            && *uplink_kbps == other.uplink_kbps
+            && *downlink_kbps == other.downlink_kbps
+            && *uplink_bytes == other.uplink_bytes
+            && *downlink_bytes == other.downlink_bytes
+            && *avg_fps == other.avg_fps
+            && *min_fps == other.min_fps
+            && *fps_series == other.fps_series
+            && *training_sessions == other.training_sessions
+            && *avg_session_secs == other.avg_session_secs
+            && *avg_sampling_rate == other.avg_sampling_rate
+            && *final_sampling_rate == other.final_sampling_rate
+            && *teacher_frames == other.teacher_frames
+            && *cloud_training_secs == other.cloud_training_secs
+            && *resilience == other.resilience
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} on {}: {} frames over {:.1} s",
+            self.strategy, self.stream_name, self.frames, self.duration_secs
+        )?;
+        writeln!(
+            f,
+            "  accuracy   mAP@0.5 {:.3}   avg IoU {:.3}",
+            self.map50, self.average_iou
+        )?;
+        writeln!(
+            f,
+            "  inference  {:.1} fps avg, {:.1} fps min",
+            self.avg_fps, self.min_fps
+        )?;
+        writeln!(
+            f,
+            "  network    up {:.1} Kbps ({} B)   down {:.1} Kbps ({} B)",
+            self.uplink_kbps, self.uplink_bytes, self.downlink_kbps, self.downlink_bytes
+        )?;
+        writeln!(
+            f,
+            "  sampling   {:.2} fps avg, {:.2} fps final",
+            self.avg_sampling_rate, self.final_sampling_rate
+        )?;
+        writeln!(
+            f,
+            "  training   {} sessions, {:.2} s avg (cloud GPU {:.1} s)",
+            self.training_sessions, self.avg_session_secs, self.cloud_training_secs
+        )?;
+        write!(
+            f,
+            "  resilience {} timeouts, {} retransmits, {} breaker opens",
+            self.resilience.upload_timeouts,
+            self.resilience.retransmits,
+            self.resilience.breaker_opens
+        )?;
+        if let Some(telemetry) = &self.telemetry {
+            write!(
+                f,
+                "\n  telemetry  {} events ({} evicted), latency p-mean {:.1} ms, \
+                 queue depth max {:.0}",
+                telemetry.events_recorded,
+                telemetry.events_dropped,
+                telemetry.frame_latency_ms.mean,
+                telemetry.queue_depth.max
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// The simulation engine.
@@ -214,7 +330,25 @@ impl Simulation {
         student: StudentDetector,
         teacher: TeacherDetector,
     ) -> Result<SimReport, SimError> {
-        Engine::new(config, student, teacher)?.run()
+        Self::run_traced(config, student, teacher, &mut NoopRecorder)
+    }
+
+    /// Runs the simulation while streaming stamped telemetry events into
+    /// `recorder`. Recording is observation-only: the returned report is
+    /// bit-identical (under `==`, which ignores the [`SimReport::telemetry`]
+    /// attachment) to an untraced run of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the configuration is inconsistent or the
+    /// training stack fails mid-run (see [`crate::error`]).
+    pub fn run_traced<R: Recorder>(
+        config: &SimConfig,
+        student: StudentDetector,
+        teacher: TeacherDetector,
+        recorder: &mut R,
+    ) -> Result<SimReport, SimError> {
+        Engine::new(config, student, teacher, recorder)?.run()
     }
 }
 
@@ -227,9 +361,15 @@ struct PendingLabels {
     samples: Vec<LabeledSample>,
 }
 
-/// Mutable state of one run.
-struct Engine<'a> {
+/// Mutable state of one run, generic over its telemetry sink so the
+/// no-op recorder compiles away entirely.
+struct Engine<'a, R: Recorder> {
     config: &'a SimConfig,
+    recorder: &'a mut R,
+    /// Sim-time stamp components of the frame being played (what every
+    /// emitted event is stamped with).
+    now_secs: f64,
+    cur_frame: u64,
     student: StudentDetector,
     cloud: CloudServer,
     trainer: AdaptiveTrainer,
@@ -265,11 +405,12 @@ struct Engine<'a> {
     cloud_training_secs: f64,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, R: Recorder> Engine<'a, R> {
     fn new(
         config: &'a SimConfig,
         student: StudentDetector,
         teacher: TeacherDetector,
+        recorder: &'a mut R,
     ) -> Result<Self, SimError> {
         let num_classes = config.stream.library.world().num_classes();
         let cloud = CloudServer::new(teacher, num_classes, config.cloud)?;
@@ -320,11 +461,41 @@ impl<'a> Engine<'a> {
             teacher_frames: 0,
             cloud_training_secs: 0.0,
             config,
+            recorder,
+            now_secs: 0.0,
+            cur_frame: 0,
             student,
             cloud,
             shadow,
             num_classes,
         })
+    }
+
+    /// Stamps and records one event at the current frame's sim time.
+    fn rec(&mut self, event: Event) {
+        self.recorder
+            .record(Record::new(self.now_secs, self.cur_frame, event));
+    }
+
+    /// The telemetry mirror of a breaker state.
+    fn phase(state: BreakerState) -> BreakerPhase {
+        match state {
+            BreakerState::Closed => BreakerPhase::Closed,
+            BreakerState::Open => BreakerPhase::Open,
+            BreakerState::HalfOpen => BreakerPhase::HalfOpen,
+        }
+    }
+
+    /// Emits a `BreakerTransition` if the breaker left `before` during the
+    /// maintenance step that just ran.
+    fn trace_breaker(&mut self, before: BreakerState) {
+        let after = self.resilience.state();
+        if after != before {
+            self.rec(Event::BreakerTransition {
+                from: Self::phase(before),
+                to: Self::phase(after),
+            });
+        }
     }
 
     fn run(mut self) -> Result<SimReport, SimError> {
@@ -336,6 +507,8 @@ impl<'a> Engine<'a> {
         for frame in stream {
             let t = frame.timestamp;
             frames_played += 1;
+            self.now_secs = t;
+            self.cur_frame = frame.index;
 
             // Achieved inference rate under training contention.
             let training_active = strategy.trains_on_edge() && t < self.training_until;
@@ -365,9 +538,22 @@ impl<'a> Engine<'a> {
             // timeouts, the breaker clock, and retransmits whose backoff
             // elapsed (the in-order sequence is the determinism contract).
             if strategy.uses_sampling() {
+                let before = self.resilience.state();
                 self.deliver_labels(t);
-                self.resilience.expire(t, &mut self.rng);
+                self.trace_breaker(before);
+                let before = self.resilience.state();
+                let timeouts = self.resilience.expire(t, &mut self.rng);
+                for timeout in timeouts {
+                    self.rec(Event::UploadTimedOut {
+                        attempt: timeout.attempt,
+                        probe: timeout.probe,
+                        requeued: timeout.requeued,
+                    });
+                }
+                self.trace_breaker(before);
+                let before = self.resilience.state();
                 self.resilience.poll(t);
+                self.trace_breaker(before);
                 while let Some(q) = self.resilience.take_ready(t) {
                     self.transmit_chunk(t, q.frames, q.attempt, false);
                 }
@@ -393,17 +579,25 @@ impl<'a> Engine<'a> {
                 match self.resilience.state() {
                     BreakerState::Closed => {
                         self.chunk.push(frame.clone());
+                        self.rec(Event::FrameSampled {
+                            chunk_len: self.chunk.len() as u32,
+                            breaker: BreakerPhase::Closed,
+                        });
                         if self.chunk.len() >= self.config.upload_chunk_frames {
                             self.upload_chunk(t);
                         }
                     }
                     BreakerState::Open => {
                         self.chunk.push(frame.clone());
+                        self.rec(Event::FrameSampled {
+                            chunk_len: self.chunk.len() as u32,
+                            breaker: BreakerPhase::Open,
+                        });
                         if self.chunk.len() >= self.config.upload_chunk_frames {
                             self.suppress_chunk();
                         }
                     }
-                    BreakerState::HalfOpen => {}
+                    BreakerState::HalfOpen => self.rec(Event::SampleSkipped),
                 }
             }
 
@@ -419,16 +613,30 @@ impl<'a> Engine<'a> {
             }
 
             // Evaluation.
-            self.per_frame_map.push(frame_map_at_05(
+            let frame_map = frame_map_at_05(
                 &FrameEval {
                     detections: detections.clone(),
                     ground_truth: frame.ground_truth.clone(),
                 },
                 self.num_classes,
-            ));
+            );
+            self.per_frame_map.push(frame_map);
+            let detection_count = detections.len();
             self.frame_evals.push(FrameEval {
                 detections,
                 ground_truth: frame.ground_truth,
+            });
+
+            // The per-frame status sample: the telemetry timeline's
+            // backbone, emitted once per played frame after evaluation.
+            self.rec(Event::FrameStatus {
+                map: frame_map,
+                fps: fps_now,
+                sampling_rate: self.effective_rate(),
+                detections: detection_count as u32,
+                uplink_bytes: self.link.uplink_bytes(),
+                queue_depth: self.resilience.queue_len() as u32,
+                breaker: Self::phase(self.resilience.state()),
             });
         }
 
@@ -442,6 +650,7 @@ impl<'a> Engine<'a> {
 
         Ok(SimReport {
             resilience,
+            telemetry: self.recorder.summary(),
             strategy: strategy.name(),
             stream_name: self.config.stream.name.clone(),
             frames: frames_played,
@@ -535,7 +744,14 @@ impl<'a> Engine<'a> {
             let outcome = self.resilience.ack(pending.upload_id, t);
             // Labels are useful even from a post-timeout straggler.
             self.pool_frames += pending.frames;
+            let sample_count = pending.samples.len();
             self.pool.extend(pending.samples);
+            self.rec(Event::LabelBatchArrived {
+                samples: sample_count as u32,
+                frames: pending.frames as u32,
+                straggler: !outcome.acked,
+                closed_breaker: outcome.closed_breaker,
+            });
             if outcome.closed_breaker {
                 // Recovery: catch up immediately instead of waiting out
                 // the widened sampling interval.
@@ -559,24 +775,39 @@ impl<'a> Engine<'a> {
             .map(|f| FrameGroupStats::new(f.raw_bytes, f.motion_magnitude))
             .collect();
         let encoded = self.config.codec.encode_group(&stats, gap);
-        let up = self.link.send_uplink(
-            t,
-            Message::FrameBatch {
-                frames: frames.len(),
-                encoded_bytes: encoded,
+        let message = Message::FrameBatch {
+            frames: frames.len(),
+            encoded_bytes: encoded,
+        };
+        let wire_bytes = message.bytes();
+        let outcome = self.link.send_uplink_outcome(t, message, &mut self.rng);
+        self.rec(Event::ChunkUploaded {
+            frames: frames.len() as u32,
+            bytes: wire_bytes,
+            attempt,
+            probe,
+            lost_to_outage: matches!(outcome, SendOutcome::LostToOutage),
+            latency_secs: match &outcome {
+                SendOutcome::Delivered(up) => Some(up.latency_secs),
+                SendOutcome::LostToOutage | SendOutcome::LostToLoss => None,
             },
-            &mut self.rng,
-        );
+        });
         let mut pending = None;
-        if let Some(up) = up {
+        if let Some(up) = outcome.transfer() {
             self.teacher_frames += frames.len() as u64;
             let refs: Vec<&Frame> = frames.iter().collect();
             let labels = self.cloud.label_batch(&refs);
             match self.config.cloud.faults.label_fate(&mut self.rng) {
-                LabelFate::Dropped => self.resilience.note_cloud_drop(),
+                LabelFate::Dropped => {
+                    self.resilience.note_cloud_drop();
+                    self.rec(Event::CloudLabelsDropped);
+                }
                 LabelFate::Delivered { extra_latency_secs } => {
                     if extra_latency_secs > 0.0 {
                         self.resilience.note_slow_labels();
+                        self.rec(Event::CloudLabelsSlow {
+                            extra_secs: extra_latency_secs,
+                        });
                     }
                     let down = self.link.send_downlink(
                         t,
@@ -623,6 +854,10 @@ impl<'a> Engine<'a> {
         .bytes()
             + Message::Telemetry.bytes();
         self.resilience.note_suppressed(would_be_bytes);
+        self.rec(Event::UploadSuppressed {
+            frames: self.chunk.len() as u32,
+            bytes: would_be_bytes,
+        });
         self.chunk.clear();
     }
 
@@ -645,7 +880,18 @@ impl<'a> Engine<'a> {
             };
             let elapsed = (t - self.last_rate_update).max(1e-6);
             let lambda = (0.35 + self.busy_secs_window / elapsed).clamp(0.0, 1.0);
-            self.sampling_rate = self.cloud.update_rate(alpha, lambda);
+            let decision = self.cloud.update_rate_detailed(alpha, lambda);
+            self.sampling_rate = decision.rate;
+            self.rec(Event::RateDecision {
+                phi_bar: decision.phi_bar,
+                alpha: decision.alpha,
+                lambda: decision.lambda,
+                lambda_bar: decision.lambda_bar,
+                r_phi: decision.r_phi,
+                r_alpha: decision.r_alpha,
+                r_lambda: decision.r_lambda,
+                rate: decision.rate,
+            });
             self.last_rate_update = t;
             self.busy_secs_window = 0.0;
             self.alpha_hits = 0;
@@ -666,13 +912,24 @@ impl<'a> Engine<'a> {
 
     /// Edge-side adaptive training (Shoggoth / Prompt / fixed rates).
     fn edge_adapt(&mut self, fresh: &[LabeledSample], t: f64) -> Result<(), SimError> {
-        self.trainer
+        let report = self
+            .trainer
             .train_session(&mut self.student, fresh, &mut self.rng)?;
         let secs = self.session_wallclock(&self.config.edge_device);
         self.training_until = t + secs;
         self.busy_secs_window += secs;
         self.sessions += 1;
         self.session_secs_sum += secs;
+        self.rec(Event::AdaptationStep {
+            fresh_samples: report.fresh_samples as u32,
+            replay_samples: report.replay_samples_used as u32,
+            mini_batches: report.mini_batches as u32,
+            mean_loss: report.mean_loss,
+            first_batch_loss: report.first_batch_loss,
+            last_batch_loss: report.last_batch_loss,
+            session_secs: secs,
+            cloud_side: false,
+        });
         Ok(())
     }
 
@@ -684,7 +941,7 @@ impl<'a> Engine<'a> {
                 context: "AMS runs always construct a shadow student",
             });
         };
-        shadow_trainer.train_session(shadow, fresh, &mut self.rng)?;
+        let report = shadow_trainer.train_session(shadow, fresh, &mut self.rng)?;
         let weights = shadow.net().export_weights();
         let arrived = self
             .link
@@ -709,6 +966,16 @@ impl<'a> Engine<'a> {
         let secs = self.ams_session_wallclock();
         self.session_secs_sum += secs;
         self.cloud_training_secs += secs;
+        self.rec(Event::AdaptationStep {
+            fresh_samples: report.fresh_samples as u32,
+            replay_samples: report.replay_samples_used as u32,
+            mini_batches: report.mini_batches as u32,
+            mean_loss: report.mean_loss,
+            first_batch_loss: report.first_batch_loss,
+            last_batch_loss: report.last_batch_loss,
+            session_secs: secs,
+            cloud_side: true,
+        });
         Ok(())
     }
 

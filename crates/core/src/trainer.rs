@@ -130,6 +130,12 @@ pub struct SessionReport {
     pub mini_batches: usize,
     /// Mean training loss over the session.
     pub mean_loss: f64,
+    /// Loss of the session's first mini-batch (0.0 when none ran) — with
+    /// [`last_batch_loss`](Self::last_batch_loss), the within-session
+    /// convergence signal telemetry plots.
+    pub first_batch_loss: f64,
+    /// Loss of the session's final mini-batch (0.0 when none ran).
+    pub last_batch_loss: f64,
 }
 
 /// The edge device's adaptive trainer: owns the replay memory and runs
@@ -221,6 +227,8 @@ impl AdaptiveTrainer {
                 replay_samples_used: 0,
                 mini_batches: 0,
                 mean_loss: 0.0,
+                first_batch_loss: 0.0,
+                last_batch_loss: 0.0,
             });
         }
         let replay_layer = self.resolve_replay_layer(student);
@@ -268,6 +276,8 @@ impl AdaptiveTrainer {
 
         let mut order: Vec<usize> = (0..n).collect();
         let mut loss_sum = 0.0f64;
+        let mut first_batch_loss = 0.0f64;
+        let mut last_batch_loss = 0.0f64;
         let mut mini_batches = 0usize;
         let mut replay_used = 0usize;
         let mut first_mini_batch = true;
@@ -335,6 +345,10 @@ impl AdaptiveTrainer {
                 let loss = losses::softmax_cross_entropy_into(&logits, &labels, &mut grad)
                     .map_err(TrainError::tensor("loss evaluation"))?;
                 loss_sum += loss as f64;
+                if mini_batches == 0 {
+                    first_batch_loss = loss as f64;
+                }
+                last_batch_loss = loss as f64;
                 student.net_mut().recycle(logits);
                 // Backward through the tail; continue into the front for
                 // the fresh rows only when the front is trainable (or
@@ -417,6 +431,8 @@ impl AdaptiveTrainer {
             } else {
                 loss_sum / mini_batches as f64
             },
+            first_batch_loss,
+            last_batch_loss,
         })
     }
 }

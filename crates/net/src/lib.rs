@@ -38,5 +38,5 @@ pub use codec::{Codec, FrameGroupStats};
 pub use fault::{
     DegradationWindow, FaultProfile, GilbertElliott, InvalidLink, LatencyJitter, OutageWindow,
 };
-pub use link::{Link, LinkConfig, Transfer};
+pub use link::{Link, LinkConfig, SendOutcome, Transfer};
 pub use message::Message;

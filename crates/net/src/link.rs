@@ -91,6 +91,35 @@ pub struct Transfer {
     pub latency_secs: f64,
 }
 
+/// The fate of one send, including *why* a lost message was lost — the
+/// telemetry layer records this so a timeline can distinguish scheduled
+/// outages from random loss.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SendOutcome {
+    /// Delivered after [`Transfer::latency_secs`].
+    Delivered(Transfer),
+    /// Lost to a scheduled outage window (still billed).
+    LostToOutage,
+    /// Lost to random loss — the i.i.d. baseline or the burst chain
+    /// (still billed).
+    LostToLoss,
+}
+
+impl SendOutcome {
+    /// The transfer, if the message was delivered.
+    pub fn transfer(self) -> Option<Transfer> {
+        match self {
+            SendOutcome::Delivered(t) => Some(t),
+            SendOutcome::LostToOutage | SendOutcome::LostToLoss => None,
+        }
+    }
+
+    /// Whether the message was delivered.
+    pub fn delivered(self) -> bool {
+        matches!(self, SendOutcome::Delivered(_))
+    }
+}
+
 /// A bidirectional edge ↔ cloud link with cumulative accounting and
 /// deterministic fault injection.
 ///
@@ -156,9 +185,7 @@ impl Link {
         message: Message,
         rng: &mut Rng,
     ) -> Option<Transfer> {
-        let bytes = message.bytes();
-        self.uplink_bytes += bytes;
-        self.transfer(now_secs, bytes, self.config.uplink_kbps, rng)
+        self.send_uplink_outcome(now_secs, message, rng).transfer()
     }
 
     /// Sends a message cloud → edge (same semantics as
@@ -169,6 +196,31 @@ impl Link {
         message: Message,
         rng: &mut Rng,
     ) -> Option<Transfer> {
+        self.send_downlink_outcome(now_secs, message, rng)
+            .transfer()
+    }
+
+    /// Sends a message edge → cloud, reporting the full [`SendOutcome`]
+    /// (why a lost message was lost). Identical byte accounting and RNG
+    /// draw sequence as [`send_uplink`](Self::send_uplink).
+    pub fn send_uplink_outcome(
+        &mut self,
+        now_secs: f64,
+        message: Message,
+        rng: &mut Rng,
+    ) -> SendOutcome {
+        let bytes = message.bytes();
+        self.uplink_bytes += bytes;
+        self.transfer(now_secs, bytes, self.config.uplink_kbps, rng)
+    }
+
+    /// Sends a message cloud → edge, reporting the full [`SendOutcome`].
+    pub fn send_downlink_outcome(
+        &mut self,
+        now_secs: f64,
+        message: Message,
+        rng: &mut Rng,
+    ) -> SendOutcome {
         let bytes = message.bytes();
         self.downlink_bytes += bytes;
         self.transfer(now_secs, bytes, self.config.downlink_kbps, rng)
@@ -184,12 +236,12 @@ impl Link {
         bytes: u64,
         capacity_kbps: f64,
         rng: &mut Rng,
-    ) -> Option<Transfer> {
+    ) -> SendOutcome {
         let fault = &self.config.fault;
         if fault.outage_active(now_secs) {
             self.dropped_messages += 1;
             self.outage_drops += 1;
-            return None;
+            return SendOutcome::LostToOutage;
         }
         let mut loss = fault.loss_rate;
         if let Some(burst) = &fault.burst {
@@ -203,7 +255,7 @@ impl Link {
             if self.ge_bad {
                 self.burst_drops += 1;
             }
-            return None;
+            return SendOutcome::LostToLoss;
         }
         let factor = fault.capacity_factor(now_secs);
         let payload_secs = bytes as f64 * 8.0 / (capacity_kbps * factor * 1000.0);
@@ -216,7 +268,7 @@ impl Link {
                 latency_secs += jitter.spike_secs;
             }
         }
-        Some(Transfer {
+        SendOutcome::Delivered(Transfer {
             bytes,
             latency_secs,
         })
@@ -404,6 +456,27 @@ mod tests {
             link.burst_drops(),
             link.dropped_messages()
         );
+    }
+
+    #[test]
+    fn send_outcomes_classify_losses() {
+        let mut rng = Rng::seed_from(8);
+        let outage = LinkConfig::cellular().with_fault(FaultProfile::none().with_outage(0.0, 10.0));
+        let mut link = Link::new(outage).expect("valid config");
+        assert_eq!(
+            link.send_uplink_outcome(1.0, Message::Telemetry, &mut rng),
+            SendOutcome::LostToOutage
+        );
+        let mut lossy =
+            Link::new(LinkConfig::cellular().with_loss_rate(1.0)).expect("valid config");
+        assert_eq!(
+            lossy.send_uplink_outcome(0.0, Message::Telemetry, &mut rng),
+            SendOutcome::LostToLoss
+        );
+        let mut clean = Link::new(LinkConfig::cellular()).expect("valid config");
+        let outcome = clean.send_downlink_outcome(0.0, Message::Telemetry, &mut rng);
+        assert!(outcome.delivered());
+        assert!(outcome.transfer().is_some());
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Counters and fixed-bucket histograms aggregated from the event stream.
+
+use serde::Serialize;
+
+/// Monotone event counters maintained by the ring recorder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct TelemetryCounters {
+    /// Frames played (one `FrameStatus` each).
+    pub frames: u64,
+    /// Frames sampled into upload chunks.
+    pub frames_sampled: u64,
+    /// Sampling instants skipped while half-open.
+    pub samples_skipped: u64,
+    /// Chunks transmitted on the uplink (probes and retransmits
+    /// included).
+    pub chunks_uploaded: u64,
+    /// Of those, half-open probe chunks.
+    pub probe_uploads: u64,
+    /// Of those, retransmits (attempt > 1).
+    pub retransmits: u64,
+    /// Transmitted chunks the link lost (any fault).
+    pub uploads_lost: u64,
+    /// Full chunks discarded because the breaker was open.
+    pub uploads_suppressed: u64,
+    /// In-flight uploads that passed their deadline.
+    pub upload_timeouts: u64,
+    /// Circuit-breaker state changes.
+    pub breaker_transitions: u64,
+    /// Label batches delivered back to the edge.
+    pub label_batches: u64,
+    /// Labeled samples pooled from those batches.
+    pub labeled_samples: u64,
+    /// Label batches the cloud dropped.
+    pub cloud_label_drops: u64,
+    /// Label batches the cloud returned late.
+    pub slow_label_batches: u64,
+    /// Completed adaptive-training sessions.
+    pub adaptation_steps: u64,
+    /// Controller rate decisions.
+    pub rate_decisions: u64,
+}
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper
+/// edges, and one extra overflow bucket catches everything above the last
+/// edge (non-finite samples land there too), so bucket counts always sum
+/// to the number of recorded samples.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram over ascending inclusive upper edges. One
+    /// overflow bucket is appended internally.
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample. Finite samples update the running mean/min/max;
+    /// samples above the last edge (or non-finite) count in the overflow
+    /// bucket.
+    pub fn record(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        if value.is_finite() {
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+    }
+
+    /// Total samples recorded (always the sum of the bucket counts).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The configured upper edges (without the overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the last entry is the overflow bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Freezes the histogram into its summary form.
+    pub fn summary(&self) -> HistogramSummary {
+        let count = self.total();
+        let buckets = self
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+            .collect();
+        HistogramSummary {
+            count,
+            mean: if count == 0 {
+                0.0
+            } else {
+                self.sum / count as f64
+            },
+            min: if count == 0 { 0.0 } else { self.min },
+            max: if count == 0 { 0.0 } else { self.max },
+            buckets,
+        }
+    }
+}
+
+/// Immutable snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean of the finite samples (`0` when empty).
+    pub mean: f64,
+    /// Smallest finite sample (`0` when empty).
+    pub min: f64,
+    /// Largest finite sample (`0` when empty).
+    pub max: f64,
+    /// `(inclusive upper edge, count)` pairs; the final edge is
+    /// `f64::INFINITY` (the overflow bucket).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+/// Aggregated telemetry of one run, attached to the simulation report.
+///
+/// Purely observational: the engine's behavior and every other report
+/// field are bit-identical whether or not a summary was collected, which
+/// is why the report's equality deliberately ignores it.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TelemetrySummary {
+    /// Events offered to the recorder.
+    pub events_recorded: u64,
+    /// Events the bounded ring evicted (oldest first).
+    pub events_dropped: u64,
+    /// Monotone event counters.
+    pub counters: TelemetryCounters,
+    /// Per-frame inference latency in milliseconds (1000 / achieved FPS).
+    pub frame_latency_ms: HistogramSummary,
+    /// Retransmit-queue depth sampled per frame.
+    pub queue_depth: HistogramSummary,
+    /// Absolute per-frame mAP@0.5 change between consecutive frames.
+    pub map_delta: HistogramSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_real_line() {
+        let mut h = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 9.0, f64::NAN, f64::INFINITY] {
+            h.record(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 3], "1.0 is inclusive in bucket 0");
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn summary_statistics_cover_finite_samples() {
+        let mut h = Histogram::new(&[10.0]);
+        h.record(2.0);
+        h.record(6.0);
+        h.record(f64::NAN);
+        let s = h.summary();
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[1].0, f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_histogram_summarizes_to_zeros() {
+        let s = Histogram::new(&[1.0]).summary();
+        assert_eq!((s.count, s.mean, s.min, s.max), (0, 0.0, 0.0, 0.0));
+    }
+}

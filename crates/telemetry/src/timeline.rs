@@ -1,0 +1,340 @@
+//! Self-contained HTML/SVG timeline report of one recorded run.
+//!
+//! Four lanes over simulation time: sampling rate, per-frame accuracy
+//! (raw and smoothed), cumulative uplink bytes, and the circuit breaker's
+//! state band with event markers (adaptation steps, upload timeouts).
+//! The renderer is deterministic string building — same records, same
+//! bytes out — and the output opens in any browser with no external
+//! assets.
+
+use crate::event::{BreakerPhase, Event, Record};
+
+const WIDTH: f64 = 960.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const LANE_H: f64 = 96.0;
+const LANE_GAP: f64 = 40.0;
+const TOP: f64 = 28.0;
+/// Maximum polyline points per lane; longer series are strided down.
+const MAX_POINTS: usize = 1200;
+
+/// One per-frame status sample extracted from the stream.
+struct StatusPoint {
+    secs: f64,
+    map: f64,
+    rate: f64,
+    uplink_mb: f64,
+    breaker: BreakerPhase,
+}
+
+fn phase_color(phase: BreakerPhase) -> &'static str {
+    match phase {
+        BreakerPhase::Closed => "#2a9d4a",
+        BreakerPhase::Open => "#d33a3a",
+        BreakerPhase::HalfOpen => "#e6a817",
+    }
+}
+
+fn downsample<T>(points: &[T]) -> Vec<&T> {
+    let stride = points.len().div_ceil(MAX_POINTS).max(1);
+    points.iter().step_by(stride).collect()
+}
+
+/// Renders a polyline for `(secs, value)` pairs inside a lane box.
+fn polyline(
+    points: &[(f64, f64)],
+    x_of: impl Fn(f64) -> f64,
+    lane_top: f64,
+    vmin: f64,
+    vmax: f64,
+    color: &str,
+    stroke_width: f64,
+) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let span = (vmax - vmin).max(1e-12);
+    let mut path = String::with_capacity(points.len() * 12);
+    for (secs, v) in points {
+        let x = x_of(*secs);
+        let y = lane_top + LANE_H - (v.clamp(vmin, vmax) - vmin) / span * LANE_H;
+        path.push_str(&format!("{x:.1},{y:.1} "));
+    }
+    format!(
+        "<polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"{stroke_width}\" \
+         points=\"{}\"/>\n",
+        path.trim_end()
+    )
+}
+
+/// Lane frame: border box, title, and min/max value labels.
+fn lane_frame(lane_top: f64, title: &str, vmin: f64, vmax: f64) -> String {
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    format!(
+        "<rect x=\"{MARGIN_L}\" y=\"{lane_top}\" width=\"{plot_w}\" height=\"{LANE_H}\" \
+         fill=\"#fafafa\" stroke=\"#ccc\"/>\n\
+         <text x=\"{MARGIN_L}\" y=\"{:.1}\" class=\"lane\">{title}</text>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"end\">{vmax:.2}</text>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"end\">{vmin:.2}</text>\n",
+        lane_top - 8.0,
+        MARGIN_L - 6.0,
+        lane_top + 10.0,
+        MARGIN_L - 6.0,
+        lane_top + LANE_H - 2.0,
+    )
+}
+
+/// Renders the full report for a recorded event stream.
+///
+/// Returns a complete HTML document; callers write it to disk. A stream
+/// with no `FrameStatus` events renders an explanatory placeholder.
+pub fn render_timeline(title: &str, records: &[Record]) -> String {
+    let statuses: Vec<StatusPoint> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            Event::FrameStatus {
+                map,
+                sampling_rate,
+                uplink_bytes,
+                breaker,
+                ..
+            } => Some(StatusPoint {
+                secs: r.stamp.sim_secs,
+                map,
+                rate: sampling_rate,
+                uplink_mb: uplink_bytes as f64 / (1024.0 * 1024.0),
+                breaker,
+            }),
+            _ => None,
+        })
+        .collect();
+
+    let mut body = String::new();
+    if statuses.is_empty() {
+        body.push_str(
+            "<p>No <code>frame_status</code> events were recorded; nothing to plot. \
+                       Run the simulation with a <code>RingRecorder</code> attached.</p>\n",
+        );
+        return page(title, 0, &body);
+    }
+
+    let t_min = statuses[0].secs;
+    let t_max = statuses[statuses.len() - 1].secs.max(t_min + 1e-9);
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let x_of = |secs: f64| MARGIN_L + (secs - t_min) / (t_max - t_min) * plot_w;
+
+    let sampled = downsample(&statuses);
+    let mut svg = String::new();
+
+    // Lane 1: sampling rate.
+    let lane1 = TOP;
+    let rate_max = statuses.iter().map(|s| s.rate).fold(0.0, f64::max).max(0.1);
+    svg.push_str(&lane_frame(lane1, "sampling rate (fps)", 0.0, rate_max));
+    let rate_pts: Vec<(f64, f64)> = sampled.iter().map(|s| (s.secs, s.rate)).collect();
+    svg.push_str(&polyline(
+        &rate_pts, x_of, lane1, 0.0, rate_max, "#1f6fb5", 1.5,
+    ));
+
+    // Lane 2: accuracy, raw (light) and 30-frame trailing mean (dark).
+    let lane2 = TOP + (LANE_H + LANE_GAP);
+    svg.push_str(&lane_frame(lane2, "accuracy (per-frame mAP@0.5)", 0.0, 1.0));
+    let raw_pts: Vec<(f64, f64)> = sampled.iter().map(|s| (s.secs, s.map)).collect();
+    svg.push_str(&polyline(&raw_pts, x_of, lane2, 0.0, 1.0, "#c9b6e4", 1.0));
+    let mut smooth = Vec::with_capacity(statuses.len());
+    let mut window_sum = 0.0;
+    for (i, s) in statuses.iter().enumerate() {
+        window_sum += s.map;
+        if i >= 30 {
+            window_sum -= statuses[i - 30].map;
+        }
+        smooth.push((s.secs, window_sum / (i.min(29) + 1) as f64));
+    }
+    let smooth_pts: Vec<(f64, f64)> = downsample(&smooth).into_iter().copied().collect();
+    svg.push_str(&polyline(
+        &smooth_pts,
+        x_of,
+        lane2,
+        0.0,
+        1.0,
+        "#5b2d8f",
+        1.8,
+    ));
+
+    // Lane 3: cumulative uplink megabytes.
+    let lane3 = TOP + 2.0 * (LANE_H + LANE_GAP);
+    let mb_max = statuses
+        .iter()
+        .map(|s| s.uplink_mb)
+        .fold(0.0, f64::max)
+        .max(1e-6);
+    svg.push_str(&lane_frame(lane3, "uplink (MB cumulative)", 0.0, mb_max));
+    let mb_pts: Vec<(f64, f64)> = sampled.iter().map(|s| (s.secs, s.uplink_mb)).collect();
+    svg.push_str(&polyline(&mb_pts, x_of, lane3, 0.0, mb_max, "#b5541f", 1.5));
+
+    // Lane 4: breaker-state band plus event markers.
+    let lane4 = TOP + 3.0 * (LANE_H + LANE_GAP);
+    svg.push_str(&format!(
+        "<text x=\"{MARGIN_L}\" y=\"{:.1}\" class=\"lane\">breaker state · \
+         <tspan fill=\"#2a9d4a\">closed</tspan> / <tspan fill=\"#d33a3a\">open</tspan> / \
+         <tspan fill=\"#e6a817\">half-open</tspan> · markers: \
+         <tspan fill=\"#1f6fb5\">▲ adaptation</tspan> \
+         <tspan fill=\"#d33a3a\">│ timeout</tspan></text>\n",
+        lane4 - 8.0
+    ));
+    let band_h = 34.0;
+    let mut seg_start = statuses[0].secs;
+    let mut seg_phase = statuses[0].breaker;
+    let flush = |svg: &mut String, start: f64, end: f64, phase: BreakerPhase| {
+        let x0 = x_of(start);
+        let x1 = x_of(end).max(x0 + 0.5);
+        svg.push_str(&format!(
+            "<rect x=\"{x0:.1}\" y=\"{lane4}\" width=\"{:.1}\" height=\"{band_h}\" \
+             fill=\"{}\"/>\n",
+            x1 - x0,
+            phase_color(phase)
+        ));
+    };
+    for s in &statuses {
+        if s.breaker != seg_phase {
+            flush(&mut svg, seg_start, s.secs, seg_phase);
+            seg_start = s.secs;
+            seg_phase = s.breaker;
+        }
+    }
+    flush(&mut svg, seg_start, t_max, seg_phase);
+    let marker_y = lane4 + band_h + 4.0;
+    for r in records {
+        match r.event {
+            Event::AdaptationStep { .. } => {
+                let x = x_of(r.stamp.sim_secs);
+                svg.push_str(&format!(
+                    "<path d=\"M {x:.1} {marker_y} l 4 8 l -8 0 z\" fill=\"#1f6fb5\"/>\n"
+                ));
+            }
+            Event::UploadTimedOut { .. } => {
+                let x = x_of(r.stamp.sim_secs);
+                svg.push_str(&format!(
+                    "<line x1=\"{x:.1}\" y1=\"{:.1}\" x2=\"{x:.1}\" y2=\"{:.1}\" \
+                     stroke=\"#d33a3a\" stroke-width=\"1\"/>\n",
+                    marker_y + 12.0,
+                    marker_y + 24.0
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    // Shared time axis.
+    let axis_y = lane4 + band_h + 30.0;
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{axis_y}\" x2=\"{:.1}\" y2=\"{axis_y}\" stroke=\"#888\"/>\n",
+        WIDTH - MARGIN_R
+    ));
+    for i in 0..=6 {
+        let secs = t_min + (t_max - t_min) * f64::from(i) / 6.0;
+        let x = x_of(secs);
+        svg.push_str(&format!(
+            "<line x1=\"{x:.1}\" y1=\"{axis_y}\" x2=\"{x:.1}\" y2=\"{:.1}\" stroke=\"#888\"/>\n\
+             <text x=\"{x:.1}\" y=\"{:.1}\" class=\"tick\" text-anchor=\"middle\">{secs:.0} s</text>\n",
+            axis_y + 5.0,
+            axis_y + 18.0
+        ));
+    }
+
+    let height = axis_y + 30.0;
+    body.push_str(&format!(
+        "<svg viewBox=\"0 0 {WIDTH} {height:.0}\" width=\"{WIDTH}\" height=\"{height:.0}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n{svg}</svg>\n"
+    ));
+    page(title, records.len(), &body)
+}
+
+fn page(title: &str, record_count: usize, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n\
+         <style>\n\
+         body {{ font-family: sans-serif; margin: 24px; color: #222; }}\n\
+         .lane {{ font-size: 12px; font-weight: bold; fill: #444; }}\n\
+         .tick {{ font-size: 10px; fill: #666; }}\n\
+         </style></head><body>\n\
+         <h1>{title}</h1>\n\
+         <p>{record_count} telemetry records, stamped in simulation time \
+         (deterministic: identical runs render identical reports).</p>\n\
+         {body}</body></html>\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Record;
+
+    fn status(secs: f64, frame: u64, breaker: BreakerPhase) -> Record {
+        Record::new(
+            secs,
+            frame,
+            Event::FrameStatus {
+                map: 0.6,
+                fps: 30.0,
+                sampling_rate: 0.5,
+                detections: 1,
+                uplink_bytes: frame * 100,
+                queue_depth: 0,
+                breaker,
+            },
+        )
+    }
+
+    #[test]
+    fn renders_all_four_lanes() {
+        let records: Vec<Record> = (0..100)
+            .map(|i| {
+                let phase = if i < 50 {
+                    BreakerPhase::Closed
+                } else {
+                    BreakerPhase::Open
+                };
+                status(i as f64 / 30.0, i, phase)
+            })
+            .collect();
+        let html = render_timeline("test run", &records);
+        assert!(html.contains("sampling rate (fps)"));
+        assert!(html.contains("per-frame mAP@0.5"));
+        assert!(html.contains("uplink (MB cumulative)"));
+        assert!(html.contains("breaker state"));
+        assert!(html.contains("<svg"));
+        // Two breaker segments: one closed rect, one open rect.
+        assert!(html.contains(phase_color(BreakerPhase::Closed)));
+        assert!(html.contains(phase_color(BreakerPhase::Open)));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let records: Vec<Record> = (0..40)
+            .map(|i| status(i as f64 / 30.0, i, BreakerPhase::Closed))
+            .collect();
+        assert_eq!(
+            render_timeline("run", &records),
+            render_timeline("run", &records)
+        );
+    }
+
+    #[test]
+    fn empty_stream_renders_placeholder() {
+        let html = render_timeline("empty", &[]);
+        assert!(html.contains("No <code>frame_status</code> events"));
+        assert!(!html.contains("<svg"));
+    }
+
+    #[test]
+    fn long_series_are_downsampled() {
+        let records: Vec<Record> = (0..10_000)
+            .map(|i| status(i as f64 / 30.0, i, BreakerPhase::Closed))
+            .collect();
+        let html = render_timeline("long", &records);
+        // ~1200 points × ~12 bytes per coordinate pair per lane keeps the
+        // document far below the raw 10k-point size.
+        assert!(html.len() < 400_000, "timeline too large: {}", html.len());
+    }
+}

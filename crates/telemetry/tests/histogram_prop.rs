@@ -1,0 +1,37 @@
+//! Property test: fixed-bucket histograms never lose a sample.
+
+use proptest::prelude::*;
+use shoggoth_telemetry::Histogram;
+
+proptest! {
+    /// For arbitrary bounds and arbitrary samples — including non-finite
+    /// ones, which land in the overflow bucket — the bucket counts always
+    /// sum to the number of recorded events.
+    #[test]
+    fn bucket_counts_sum_to_event_count(
+        values in proptest::collection::vec(-1e6..1e6f64, 0..200),
+        b1 in -10.0..10.0f64,
+        b2 in 10.0..1000.0f64,
+        nans in 0usize..4,
+        infs in 0usize..4,
+    ) {
+        let mut h = Histogram::new(&[b1, b2]);
+        for v in &values {
+            h.record(*v);
+        }
+        for _ in 0..nans {
+            h.record(f64::NAN);
+        }
+        for _ in 0..infs {
+            h.record(f64::INFINITY);
+        }
+        let expected = (values.len() + nans + infs) as u64;
+        prop_assert_eq!(h.total(), expected);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), expected);
+        prop_assert_eq!(h.summary().count, expected);
+        prop_assert_eq!(
+            h.summary().buckets.iter().map(|(_, c)| *c).sum::<u64>(),
+            expected
+        );
+    }
+}

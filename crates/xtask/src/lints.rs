@@ -1,4 +1,4 @@
-//! The four domain lints (L1–L4) and the panic allowlist.
+//! The five domain lints (L1–L5) and the panic allowlist.
 //!
 //! All lints work on [`SourceFile`]s preprocessed by [`crate::scan`]:
 //! token searches only see real code (comments and literals blanked),
@@ -11,6 +11,7 @@
 //! | L2   | `panic-audit` | panicking constructs outside the checked-in allowlist        |
 //! | L3   | `float-eq`    | bare float `==`/`!=` and `partial_cmp(..).unwrap()`          |
 //! | L4   | `unit-mix`    | `+`/`-` arithmetic across mismatched unit suffixes           |
+//! | L5   | `telemetry-hygiene` | recorder calls inside the tensor kernels; wall clocks / OS randomness / hash iteration in the telemetry crate |
 
 use crate::scan::SourceFile;
 use std::collections::BTreeMap;
@@ -584,6 +585,95 @@ pub fn l4_unit_suffixes(file: &SourceFile) -> Vec<Violation> {
     out
 }
 
+// ---------------------------------------------------------------------------
+// L5 — telemetry hygiene
+// ---------------------------------------------------------------------------
+
+/// Tokens forbidden in `crates/tensor/src`: the hot tensor kernels must
+/// never see a telemetry recorder — events belong at the pipeline layer,
+/// not inside `matmul`.
+const L5_TENSOR_BANNED: &[(&str, &str)] = &[
+    (
+        "Recorder",
+        "tensor kernels must not emit telemetry; record at the pipeline layer",
+    ),
+    (
+        "shoggoth_telemetry",
+        "tensor kernels must not depend on the telemetry crate",
+    ),
+];
+
+/// Tokens forbidden in `crates/telemetry/src`: stamps come from sim time
+/// and frame indices only, and exports must iterate deterministically.
+/// (The telemetry crate is deliberately *not* in [`DETERMINISTIC_CRATES`]
+/// so each site reports one violation, under this lint's name.)
+const L5_TELEMETRY_BANNED: &[(&str, &str)] = &[
+    (
+        "Instant::now",
+        "telemetry stamps use sim time, never wall clock",
+    ),
+    (
+        "SystemTime",
+        "telemetry stamps use sim time, never wall clock",
+    ),
+    (
+        "thread_rng",
+        "recorders are observation-only and never draw randomness",
+    ),
+    (
+        "rand::random",
+        "recorders are observation-only and never draw randomness",
+    ),
+    (
+        "HashMap",
+        "exports must iterate deterministically; use BTreeMap or a Vec",
+    ),
+    (
+        "HashSet",
+        "exports must iterate deterministically; use BTreeSet or a Vec",
+    ),
+];
+
+/// Whether `path` lives under `crates/<krate>/src`.
+fn in_crate_src(path: &Path, krate: &str) -> bool {
+    let mut parts = path.components().map(|c| c.as_os_str());
+    parts.next() == Some("crates".as_ref())
+        && parts.next().is_some_and(|name| name == krate)
+        && parts.next() == Some("src".as_ref())
+}
+
+/// L5: telemetry hygiene. Keeps the observability layer on the right side
+/// of two boundaries: the tensor kernels stay telemetry-free (no recorder
+/// plumbed into the hot loops), and the telemetry crate itself stays
+/// deterministic (sim-time stamps, no wall clocks or OS randomness).
+pub fn l5_telemetry_hygiene(file: &SourceFile) -> Vec<Violation> {
+    let banned: &[(&str, &str)] = if in_crate_src(&file.path, "tensor") {
+        L5_TENSOR_BANNED
+    } else if in_crate_src(&file.path, "telemetry") {
+        L5_TELEMETRY_BANNED
+    } else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (i, line) in file.clean.iter().enumerate() {
+        if file.in_test[i] || file.suppressed(i, "telemetry-hygiene") {
+            continue;
+        }
+        for &(token, why) in banned {
+            for col in word_starts(line, token) {
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: i + 1,
+                    col: col + 1,
+                    lint: "L5/telemetry-hygiene",
+                    message: format!("`{token}`: {why}"),
+                });
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -739,6 +829,37 @@ let ok = x <= 0.5 && y >= 1.0;
         assert_eq!(v[0].line, 1);
         assert!(v[0].message.contains("time"));
         assert!(v[0].message.contains("data"));
+    }
+
+    #[test]
+    fn l5_flags_recorders_in_tensor_kernels() {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/tensor/src/kernel.rs"),
+            "fn run<R: Recorder>(rec: &mut R) { shoggoth_telemetry::noop(); }\n",
+        );
+        let v = l5_telemetry_hygiene(&f);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.lint == "L5/telemetry-hygiene"));
+    }
+
+    #[test]
+    fn l5_flags_wall_clocks_in_telemetry() {
+        let f = SourceFile::parse(
+            PathBuf::from("crates/telemetry/src/recorder.rs"),
+            "let t = Instant::now();\nlet m: HashMap<u32, u32> = HashMap::new();\n",
+        );
+        let v = l5_telemetry_hygiene(&f);
+        assert_eq!(v.len(), 3, "Instant::now + two HashMap mentions");
+    }
+
+    #[test]
+    fn l5_ignores_other_crates_and_suppressed_lines() {
+        assert!(l5_telemetry_hygiene(&file("let r: Recorder = x;\n")).is_empty());
+        let suppressed = SourceFile::parse(
+            PathBuf::from("crates/telemetry/src/lib.rs"),
+            "let t = SystemTime::now(); // lint:allow(telemetry-hygiene)\n",
+        );
+        assert!(l5_telemetry_hygiene(&suppressed).is_empty());
     }
 
     #[test]

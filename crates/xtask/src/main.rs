@@ -4,22 +4,24 @@
 //! cargo run -p xtask -- lint [--root <dir>]
 //! ```
 //!
-//! Runs the four domain lints (see [`lints`]) over every `crates/*/src`
+//! Runs the five domain lints (see [`lints`]) over every `crates/*/src`
 //! tree and prints `path:line:col: [lint] message` diagnostics. Exit
 //! status: `0` clean, `1` violations, `2` usage or I/O failure.
 //!
 //! The checks encode invariants `cargo clippy` cannot see because they are
 //! properties of *this* codebase, not of Rust: bit-reproducible simulation
 //! (L1), a justified-and-budgeted panic inventory (L2), explicit float
-//! comparison semantics (L3), and unit-suffix discipline on the
-//! `_ms`/`_bytes`/`_mbps` bookkeeping the latency model lives on (L4).
+//! comparison semantics (L3), unit-suffix discipline on the
+//! `_ms`/`_bytes`/`_mbps` bookkeeping the latency model lives on (L4), and
+//! telemetry-boundary hygiene — no recorders in the tensor kernels, no
+//! wall clocks in the telemetry crate (L5).
 
 mod lints;
 mod scan;
 
 use lints::{
-    l1_determinism, l2_panic_audit, l3_float_hygiene, l4_unit_suffixes, parse_allowlist, Violation,
-    DETERMINISTIC_CRATES,
+    l1_determinism, l2_panic_audit, l3_float_hygiene, l4_unit_suffixes, l5_telemetry_hygiene,
+    parse_allowlist, Violation, DETERMINISTIC_CRATES,
 };
 use scan::SourceFile;
 use std::fs;
@@ -119,6 +121,7 @@ fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
         }
         violations.extend(l3_float_hygiene(file));
         violations.extend(l4_unit_suffixes(file));
+        violations.extend(l5_telemetry_hygiene(file));
     }
     violations.extend(l2_panic_audit(&sources, &allowlist, allowlist_rel));
 

@@ -9,6 +9,8 @@
 //! cargo run --release --example drift_anatomy
 //! ```
 
+use shoggoth::sim::{SimConfig, Simulation};
+use shoggoth::strategy::Strategy;
 use shoggoth_models::{
     sample_domain_batch, StudentConfig, StudentDetector, TeacherConfig, TeacherDetector,
 };
@@ -71,4 +73,15 @@ fn main() {
     println!("{:-<54}", "");
     println!("\nthe widening gap on drifted domains is the accuracy Shoggoth's");
     println!("adaptive online learning recovers (see `traffic_surveillance`).");
+
+    // (c) What recovering it looks like: a short adaptive run on the same
+    // preset, summarized by the report's Display form.
+    println!("\nrunning 60 s of adaptive online learning on this stream ...\n");
+    let mut config = SimConfig::quick(presets::detrac(3).with_total_frames(1800));
+    config.strategy = Strategy::Shoggoth;
+    let report = Simulation::run(&config).expect("simulation run failed");
+    println!("{report}");
+    println!("\nper-frame drift/recovery timelines for runs like this come from:");
+    println!("  cargo run --release -p shoggoth-bench --bin timeline");
+    println!("  (writes target/experiments/telemetry_*.jsonl and .html)");
 }

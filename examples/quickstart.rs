@@ -22,28 +22,7 @@ fn main() {
     println!("pre-training student (source domain) and teacher (all domains) ...");
     let report = Simulation::run(&config).expect("simulation run failed");
 
-    println!("\n=== Shoggoth on {} ===", report.stream_name);
-    println!("frames played        : {}", report.frames);
-    println!("stream duration      : {:.0} s", report.duration_secs);
-    println!("mAP@0.5              : {:.1} %", report.map50 * 100.0);
-    println!("average IoU          : {:.3}", report.average_iou);
-    println!(
-        "uplink / downlink    : {:.1} / {:.1} Kbps",
-        report.uplink_kbps, report.downlink_kbps
-    );
-    println!("training sessions    : {}", report.training_sessions);
-    println!(
-        "avg session length   : {:.1} s (modeled, Jetson TX2)",
-        report.avg_session_secs
-    );
-    println!(
-        "avg inference FPS    : {:.1} (dips to {:.1} during training)",
-        report.avg_fps, report.min_fps
-    );
-    println!(
-        "avg sampling rate    : {:.2} fps (adaptive, within [0.1, 2.0])",
-        report.avg_sampling_rate
-    );
+    println!("\n{report}");
 
     // Compare against the no-adaptation baseline on the same stream.
     let mut edge_config = config.clone();
@@ -57,4 +36,7 @@ fn main() {
         "adaptive online learning gained {:+.1} mAP points",
         (report.map50 - edge.map50) * 100.0
     );
+    println!("\nfor a per-frame telemetry timeline of a run like this, see:");
+    println!("  cargo run --release -p shoggoth-bench --bin timeline");
+    println!("  (writes target/experiments/telemetry_*.jsonl and .html)");
 }

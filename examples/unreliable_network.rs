@@ -16,6 +16,7 @@ use shoggoth::sim::{SimConfig, Simulation};
 use shoggoth::strategy::Strategy;
 use shoggoth::CloudFaultProfile;
 use shoggoth_net::{FaultProfile, GilbertElliott, LatencyJitter, LinkConfig};
+use shoggoth_telemetry::{render_timeline, to_jsonl, RingRecorder};
 use shoggoth_video::presets;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -42,7 +43,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("90 s KITTI run through an outage storm (pre-training models) ...\n");
     let (student, teacher) = Simulation::build_models(&config);
-    let resilient = Simulation::run_with_models(&config, student.clone(), teacher.clone())?;
+    let mut recorder = RingRecorder::default();
+    let resilient =
+        Simulation::run_traced(&config, student.clone(), teacher.clone(), &mut recorder)?;
 
     // The same storm without the resilience layer: fire-and-forget.
     let mut naive_config = config.clone();
@@ -90,5 +93,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("dead link, then recovered by probe and retransmitted the queued");
     println!("chunks — the extra uplink over fire-and-forget is the price of");
     println!("actually getting labels (and training sessions) through the storm.");
+
+    // Export the traced run as telemetry artifacts: one stamped event per
+    // JSONL line, and a self-contained SVG timeline of the whole storm.
+    let records = recorder.records();
+    let dir = std::path::Path::new("target/experiments");
+    std::fs::create_dir_all(dir)?;
+    let jsonl = dir.join("telemetry_unreliable_network.jsonl");
+    std::fs::write(&jsonl, to_jsonl(&records))?;
+    let html = dir.join("telemetry_unreliable_network.html");
+    std::fs::write(
+        &html,
+        render_timeline("Shoggoth through the outage storm", &records),
+    )?;
+    println!("\n{resilient}");
+    println!(
+        "\n[telemetry exported to {} and {}]",
+        jsonl.display(),
+        html.display()
+    );
     Ok(())
 }

@@ -21,9 +21,18 @@ cargo test -q -p shoggoth-tensor --features finite-check
 
 # Gating: chaos smoke. A fixed-seed worst-case fault schedule (stacked
 # outages, bursty loss, degradation, jitter, flaky cloud) must complete
-# without a panic; see DESIGN.md §10 (Failure model & resilience).
+# without a panic; see DESIGN.md §10 (Failure model & resilience). The
+# traced run must also leave its telemetry artifacts behind (§11).
 echo "==> chaos smoke: cargo run --release --example unreliable_network"
 cargo run -q --release --example unreliable_network
+for artifact in target/experiments/telemetry_unreliable_network.jsonl \
+                target/experiments/telemetry_unreliable_network.html; do
+  if [[ ! -s "$artifact" ]]; then
+    echo "chaos smoke did not export $artifact (or it is empty)" >&2
+    exit 1
+  fi
+done
+echo "    telemetry artifacts present (JSONL + timeline HTML)"
 
 # Non-gating: the throughput probe exercises the release-mode hot path and
 # refreshes BENCH_tensor.json, but perf numbers on shared runners are too

@@ -1,0 +1,185 @@
+//! Telemetry golden tests: recording must be *observation only*.
+//!
+//! The contract under test is the one `DESIGN.md` §11 states: a traced
+//! run and an untraced run of the same seeded scenario produce
+//! bit-identical [`SimReport`]s (equality deliberately ignores the
+//! attached summary), and fleet traces merge identically for every
+//! worker-thread count. A recorder that perturbed a single RNG draw or
+//! control-flow branch would fail every test in this file.
+
+use proptest::prelude::*;
+use shoggoth::fleet::{run_fleet_traced, FleetConfig};
+use shoggoth::sim::{SimConfig, SimReport, Simulation};
+use shoggoth::strategy::Strategy;
+use shoggoth::CloudFaultProfile;
+use shoggoth_models::{StudentDetector, TeacherDetector};
+use shoggoth_net::{FaultProfile, GilbertElliott, LatencyJitter, LinkConfig};
+use shoggoth_telemetry::{Histogram, NoopRecorder, Record, Recorder, RingRecorder};
+use shoggoth_video::presets;
+
+const STREAM_SEED: u64 = 83;
+
+/// The chaos acceptance scenario: the scripted outage storm from the
+/// `unreliable_network` smoke test, on the same stream seed the chaos
+/// harness uses, plus a flaky cloud labeler.
+fn storm_config(frames: u64) -> SimConfig {
+    let storm = FaultProfile::none()
+        .with_loss_rate(0.05)
+        .with_burst(GilbertElliott::bursty())
+        .with_outage(15.0, 58.0)
+        .with_outage(75.0, 79.0)
+        .with_degradation(60.0, 68.0, 0.5)
+        .with_jitter(LatencyJitter {
+            jitter_secs: 0.05,
+            spike_prob: 0.1,
+            spike_secs: 1.0,
+        });
+    let mut config = SimConfig::quick(presets::kitti(STREAM_SEED).with_total_frames(frames));
+    config.strategy = Strategy::Shoggoth;
+    config.link = LinkConfig::cellular().with_fault(storm);
+    config.cloud.faults = CloudFaultProfile {
+        label_drop_rate: 0.1,
+        slow_label_rate: 0.2,
+        slow_label_secs: 0.5,
+    };
+    config
+}
+
+thread_local! {
+    /// One pre-trained model pair per test thread (`Mlp` is not `Sync`);
+    /// models depend on the stream library, not the frame count.
+    static MODELS: (StudentDetector, TeacherDetector) =
+        Simulation::build_models(&storm_config(60));
+}
+
+fn run_traced<R: Recorder>(config: &SimConfig, recorder: &mut R) -> SimReport {
+    let (student, teacher) = MODELS.with(Clone::clone);
+    Simulation::run_traced(config, student, teacher, recorder).expect("traced run must not fail")
+}
+
+#[test]
+fn tracing_is_observation_only() {
+    let config = storm_config(2_700);
+
+    let untraced = run_traced(&config, &mut NoopRecorder);
+    assert!(untraced.telemetry.is_none(), "no-op must not aggregate");
+
+    let mut ring = RingRecorder::default();
+    let traced = run_traced(&config, &mut ring);
+
+    // The golden assertion: every measured field bit-identical. The manual
+    // `PartialEq` on `SimReport` destructures all fields, so a new field
+    // that escaped the determinism contract would fail here too.
+    assert_eq!(untraced, traced, "recording must not perturb the run");
+    assert!(!ring.records().is_empty(), "storm must leave a trace");
+}
+
+#[test]
+fn ring_summary_agrees_with_the_report() {
+    let config = storm_config(2_700);
+    let mut ring = RingRecorder::default();
+    let report = run_traced(&config, &mut ring);
+
+    let summary = report.telemetry.as_ref().expect("ring aggregates");
+    assert!(summary.events_recorded > 0);
+
+    // Counters double-book the engine's own accounting; any drift between
+    // the two means an event site was missed or double-fired.
+    let c = &summary.counters;
+    let r = &report.resilience;
+    assert_eq!(c.frames, report.frames, "one FrameStatus per frame");
+    assert_eq!(c.upload_timeouts, r.upload_timeouts);
+    assert_eq!(c.uploads_suppressed, r.suppressed_uploads);
+    assert_eq!(c.probe_uploads, r.probe_uploads);
+    assert_eq!(c.retransmits, r.retransmits);
+    assert_eq!(c.cloud_label_drops, r.cloud_label_drops);
+    assert_eq!(c.slow_label_batches, r.slow_label_batches);
+    // `messages_lost` also counts telemetry beacons and downlink batches,
+    // which have no `ChunkUploaded` event.
+    assert!(c.uploads_lost <= r.messages_lost);
+    assert_eq!(
+        c.breaker_transitions,
+        r.breaker_opens + r.breaker_half_opens + r.breaker_closes,
+        "every breaker transition must be traced"
+    );
+    assert_eq!(c.adaptation_steps, report.training_sessions as u64);
+    assert!(c.breaker_transitions >= 2, "storm must trip the breaker");
+
+    // Histogram invariant on real data: buckets always partition samples.
+    assert_eq!(summary.queue_depth.count, report.frames);
+    let bucket_sum: u64 = summary.queue_depth.buckets.iter().map(|(_, n)| n).sum();
+    assert_eq!(bucket_sum, summary.queue_depth.count);
+}
+
+#[test]
+fn fleet_traces_are_thread_count_invariant() {
+    let devices = 3;
+    let serial = FleetConfig::new(storm_config(900), devices).with_threads(1);
+    let threaded = FleetConfig::new(storm_config(900), devices).with_threads(4);
+
+    let (serial_report, serial_traces) =
+        run_fleet_traced(&serial, RingRecorder::DEFAULT_CAPACITY).expect("serial fleet runs");
+    let (threaded_report, threaded_traces) =
+        run_fleet_traced(&threaded, RingRecorder::DEFAULT_CAPACITY).expect("threaded fleet runs");
+
+    assert_eq!(serial_report, threaded_report, "fleet reports must match");
+    assert_eq!(
+        serial_traces, threaded_traces,
+        "merged event streams must be identical for every thread count"
+    );
+    assert_eq!(serial_traces.len(), devices);
+    assert!(serial_traces.iter().all(|trace| !trace.is_empty()));
+
+    // Devices replay different streams, so their traces must differ.
+    assert_ne!(serial_traces[0], serial_traces[1]);
+}
+
+proptest! {
+    /// Histogram bucket counts always sum to the number of recorded
+    /// events, whatever mix of finite, infinite, and NaN samples arrives.
+    #[test]
+    fn histogram_buckets_partition_all_samples(
+        bit_patterns in proptest::collection::vec(any::<u64>(), 0..200)
+    ) {
+        // Reinterpreted bits cover the whole f64 domain — NaNs,
+        // infinities, subnormals — and the specials are forced in.
+        let mut values: Vec<f64> = bit_patterns.iter().map(|b| f64::from_bits(*b)).collect();
+        values.extend([f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        let mut histogram = Histogram::new(&[0.0, 1.0, 10.0, 100.0]);
+        for value in &values {
+            histogram.record(*value);
+        }
+        prop_assert_eq!(histogram.total(), values.len() as u64);
+        let summary = histogram.summary();
+        let bucket_sum: u64 = summary.buckets.iter().map(|(_, n)| n).sum();
+        prop_assert_eq!(bucket_sum, summary.count);
+        prop_assert_eq!(summary.count, values.len() as u64);
+    }
+}
+
+/// Exported records survive the JSONL round into one line per event, and
+/// the timeline carries all four lanes — the artifact shape CI checks.
+#[test]
+fn exports_have_the_documented_shape() {
+    let config = storm_config(900);
+    let mut ring = RingRecorder::default();
+    let _report = run_traced(&config, &mut ring);
+    let records: Vec<Record> = ring.records();
+
+    let jsonl = shoggoth_telemetry::to_jsonl(&records);
+    assert_eq!(jsonl.lines().count(), records.len(), "one line per record");
+    assert!(jsonl
+        .lines()
+        .all(|line| line.starts_with('{') && line.ends_with('}')));
+
+    let html = shoggoth_telemetry::render_timeline("storm", &records);
+    assert!(html.contains("<svg"), "timeline must embed an SVG");
+    for lane in [
+        "sampling rate (fps)",
+        "accuracy (per-frame mAP@0.5)",
+        "uplink (MB cumulative)",
+        "breaker state",
+    ] {
+        assert!(html.contains(lane), "missing lane: {lane}");
+    }
+}
